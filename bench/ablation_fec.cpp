@@ -1,0 +1,64 @@
+// Ablation A11: FEC-protected best-effort vs PELS (paper §1's second goal:
+// "avoid all bandwidth overhead associated with error-correcting codes").
+//
+// FEC can repair random loss, but (a) the parity overhead is paid whether or
+// not the network drops anything, and (b) once the loss rate approaches the
+// code's correction budget, whole blocks fail and the FGS prefix rule
+// amplifies the damage. PELS achieves efficiency ~ (1 - p/p_thr) with zero
+// overhead by *choosing* which bytes die. This bench sweeps code overhead
+// and loss rate and compares goodput efficiency (useful bytes per
+// transmitted byte).
+#include <iostream>
+
+#include "analysis/best_effort_model.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "video/fec.h"
+
+using namespace pels;
+
+int main() {
+  const int blocks = 5;  // 50 data packets / frame, 500 B each (25 kB FGS)
+
+  print_banner(std::cout,
+               "Ablation A11: goodput efficiency — FEC-protected best-effort vs PELS");
+  TablePrinter table({"loss p", "no FEC (eq. 3)", "FEC 9% ovh (k=10,m=1)",
+                      "FEC 17% ovh (k=10,m=2)", "FEC 29% ovh (k=10,m=4)",
+                      "PELS (eq. 6 bound, 0 ovh)"});
+  for (double p : {0.01, 0.05, 0.10, 0.19, 0.30}) {
+    std::vector<std::string> row{TablePrinter::fmt(p, 2)};
+    // No FEC: utility of eq. (3) — useful/received — rescaled to useful/sent
+    // = U * (1-p) for an apples-to-apples efficiency comparison.
+    row.push_back(TablePrinter::fmt(best_effort_utility(p, 50) * (1.0 - p), 3));
+    for (int m : {1, 2, 4}) {
+      FecConfig cfg;
+      cfg.data_packets = 10;
+      cfg.parity_packets = m;
+      row.push_back(TablePrinter::fmt(fec_goodput_efficiency(cfg, p, blocks), 3));
+    }
+    row.push_back(TablePrinter::fmt(p < 0.75 ? (1.0 - p / 0.75) : 0.0, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Closed form vs Monte-Carlo (k=10, m=2, 5 blocks)");
+  Rng rng(77);
+  TablePrinter check({"loss p", "E[prefix blocks] model", "Monte-Carlo"});
+  FecConfig cfg;
+  cfg.data_packets = 10;
+  cfg.parity_packets = 2;
+  for (double p : {0.02, 0.05, 0.10, 0.19}) {
+    check.add_row({TablePrinter::fmt(p, 2),
+                   TablePrinter::fmt(fec_expected_prefix_blocks(cfg, p, blocks), 3),
+                   TablePrinter::fmt(
+                       fec_simulate_prefix_blocks(cfg, p, blocks, 200'000, rng), 3)});
+  }
+  check.print(std::cout);
+
+  std::cout << "\nExpected: light FEC wins over raw best-effort at low loss but its\n"
+            << "efficiency is capped at 1 - overhead; at the paper's 10-19% loss\n"
+            << "even 29% overhead collapses (blocks exceed the correction budget)\n"
+            << "while PELS stays near 1 - p/p_thr with zero overhead — the §1\n"
+            << "argument for preferential dropping over error-correcting codes.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A4: why the PELS queue needs strict priority AND base-layer
+// protection. Three bottlenecks under the identical 4-flow workload:
+//
+//   1. PELS: WRR + strict priority green/yellow/red (the paper's design);
+//   2. best-effort, base protected: colour-blind random FGS drops, green
+//      exempt (the paper's §6.5 comparator);
+//   3. best-effort, nothing protected: random drops hit the base layer too —
+//      the paper argues this makes retransmission-free streaming
+//      "simply impossible" (GOP loss propagation).
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Row {
+  double utility;
+  double psnr;
+  double base_ok_fraction;
+  double green_loss;
+};
+
+Row run(BottleneckKind kind, bool protect_base) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 4;
+  cfg.tcp_flows = 3;
+  cfg.seed = 7;
+  cfg.bottleneck = kind;
+  cfg.best_effort_queue.protect_base_layer = protect_base;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 60 * kSecond;
+  s.run_until(duration);
+  s.finish();
+
+  Row out{};
+  out.utility = s.sink(0).mean_utility();
+  RunningStats psnr;
+  int base_ok = 0;
+  const auto frames = s.sink(0).quality_for_frames(50, 550);
+  for (const auto& q : frames) {
+    psnr.add(q.psnr_db);
+    base_ok += q.base_ok;
+  }
+  out.psnr = psnr.mean();
+  out.base_ok_fraction = static_cast<double>(base_ok) / static_cast<double>(frames.size());
+  const auto& c = s.bottleneck_queue().counters();
+  const auto g = static_cast<std::size_t>(Color::kGreen);
+  out.green_loss = c.arrivals[g] == 0
+                       ? 0.0
+                       : static_cast<double>(c.drops[g]) / static_cast<double>(c.arrivals[g]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation A4: queue discipline (4 flows, 60 s)");
+  TablePrinter table({"bottleneck", "mean utility", "mean PSNR (dB)",
+                      "frames with intact base", "green loss"});
+  const Row pels = run(BottleneckKind::kPels, true);
+  const Row be_protected = run(BottleneckKind::kBestEffort, true);
+  const Row be_raw = run(BottleneckKind::kBestEffort, false);
+  auto add = [&](const char* name, const Row& r) {
+    table.add_row({name, TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
+                   TablePrinter::fmt(100.0 * r.base_ok_fraction, 1) + " %",
+                   TablePrinter::fmt(r.green_loss, 4)});
+  };
+  add("PELS (priority AQM)", pels);
+  add("best-effort, base protected", be_protected);
+  add("best-effort, unprotected", be_raw);
+  table.print(std::cout);
+  std::cout << "\nExpected: PELS > protected best-effort > unprotected best-effort in\n"
+            << "both utility and PSNR; without protection the base layer takes random\n"
+            << "hits and whole frames collapse to concealment quality (paper §6.5:\n"
+            << "best-effort streaming without base protection is 'simply impossible').\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A9: constant-byte vs R-D-aware constant-quality rate scaling.
+//
+// The paper's §6.5 notes PELS's residual PSNR fluctuation "can be further
+// reduced using sophisticated R-D scaling methods [5] (not used in this
+// work)". This bench implements that extension: a receding-horizon max-min
+// PSNR allocation of the FGS budget across upcoming frames, and measures how
+// much of the fluctuation it removes at the same congestion-controlled rate.
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Result {
+  double mean_psnr;
+  double spread_p5_p95;
+  double min_psnr;
+  double mean_rate;
+};
+
+Result run(bool rd_aware, int flows) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = flows;
+  cfg.tcp_flows = 3;
+  cfg.seed = 7;
+  cfg.rd_aware_scaling = rd_aware;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 42 * kSecond;
+  s.run_until(duration);
+  s.finish();
+  SampleSet psnr;
+  for (const auto& q : s.sink(0).quality_for_frames(50, 400)) psnr.add(q.psnr_db);
+  return Result{psnr.mean(), psnr.quantile(0.95) - psnr.quantile(0.05), psnr.min(),
+                s.source(0).rate_series().mean_in(20 * kSecond, duration)};
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Ablation A9: constant-byte vs R-D-aware FGS scaling (paper [5])");
+  TablePrinter table({"flows", "scaling", "mean PSNR (dB)", "p5-p95 spread (dB)",
+                      "worst frame (dB)", "mean rate (kb/s)"});
+  for (int flows : {2, 4}) {
+    for (bool rd_aware : {false, true}) {
+      const Result r = run(rd_aware, flows);
+      table.add_row({TablePrinter::fmt_int(flows), rd_aware ? "R-D aware" : "constant",
+                     TablePrinter::fmt(r.mean_psnr, 2),
+                     TablePrinter::fmt(r.spread_p5_p95, 2),
+                     TablePrinter::fmt(r.min_psnr, 2),
+                     TablePrinter::fmt(r.mean_rate / 1e3, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the R-D-aware scaler spends the same rate (same mean PSNR\n"
+            << "to within noise) but flattens the quality trace — smaller p5-p95\n"
+            << "spread and a higher worst frame.\n";
+  return 0;
+}

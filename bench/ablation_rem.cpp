@@ -1,0 +1,90 @@
+// Ablation A13: marking-based REM vs PELS vs random-drop best-effort
+// (paper §2.2: REM "works with cooperating end-flows to maximize their
+// individual utilities").
+//
+// REM avoids loss altogether by signalling congestion through ECN marks — a
+// different philosophy from PELS, which *welcomes* loss but steers it into
+// expendable packets. The comparison shows what each buys for video: REM
+// needs universal cooperation and a standing queue (delay) but keeps every
+// byte; PELS needs only a priority queue and keeps every *useful* byte while
+// staying retransmission- and mark-free. Best-effort random dropping loses
+// on both axes.
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Result {
+  double utility;
+  double video_loss;
+  double delay_ms;       // decodable-class (green+yellow) mean one-way delay
+  double rate_sum;
+  double psnr;
+};
+
+Result run(BottleneckKind kind) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 4;
+  cfg.tcp_flows = 3;
+  cfg.seed = 9;
+  cfg.bottleneck = kind;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 60 * kSecond;
+  s.run_until(duration);
+  s.finish();
+  Result out{};
+  out.utility = s.sink(0).mean_utility();
+  const auto& c = s.bottleneck_queue().counters();
+  std::uint64_t arr = 0;
+  std::uint64_t drop = 0;
+  for (Color col : {Color::kGreen, Color::kYellow, Color::kRed}) {
+    arr += c.arrivals[static_cast<std::size_t>(col)];
+    drop += c.drops[static_cast<std::size_t>(col)];
+  }
+  out.video_loss = arr == 0 ? 0.0 : static_cast<double>(drop) / static_cast<double>(arr);
+  RunningStats delay;
+  for (Color col : {Color::kGreen, Color::kYellow}) {
+    const auto& d = s.sink(0).delay_samples(col);
+    if (!d.empty()) delay.add(d.mean());
+  }
+  out.delay_ms = delay.mean() * 1e3;
+  for (int i = 0; i < 4; ++i)
+    out.rate_sum += s.source(i).rate_series().mean_in(30 * kSecond, duration);
+  RunningStats psnr;
+  for (const auto& q : s.sink(0).quality_for_frames(50, 550)) psnr.add(q.psnr_db);
+  out.psnr = psnr.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation A13: PELS vs REM (marking) vs best-effort (4 flows, 60 s)");
+  TablePrinter table({"bottleneck", "video loss", "mean utility", "mean PSNR (dB)",
+                      "decodable delay (ms)", "video rate sum (kb/s)"});
+  struct Row {
+    const char* name;
+    BottleneckKind kind;
+  };
+  for (const Row row : {Row{"PELS (priority drop)", BottleneckKind::kPels},
+                        Row{"REM (ECN marking)", BottleneckKind::kRem},
+                        Row{"best-effort (random drop)", BottleneckKind::kBestEffort}}) {
+    const Result r = run(row.kind);
+    table.add_row({row.name, TablePrinter::fmt(r.video_loss, 4),
+                   TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
+                   TablePrinter::fmt(r.delay_ms, 1),
+                   TablePrinter::fmt(r.rate_sum / 1e3, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: REM achieves ~zero loss and utility ~1 like PELS, but pays\n"
+            << "with a standing queue (higher decodable delay) and assumes every flow\n"
+            << "cooperates with marking; PELS gets the same utility with low delay by\n"
+            << "steering its (nonzero) loss into red packets; best-effort random\n"
+            << "dropping shreds the prefix and loses a third of the received bytes.\n";
+  return 0;
+}

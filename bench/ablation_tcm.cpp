@@ -1,0 +1,75 @@
+// Ablation A15: semantic marking (PELS) vs DiffServ srTCM conformance
+// marking (paper §2.1, Gurses et al.).
+//
+// Both schemes feed the SAME priority AQM; the only difference is who
+// decides the colours. PELS marks by meaning (base = green, FGS prefix =
+// yellow, FGS suffix = red); srTCM marks by rate conformance — whichever
+// bytes happen to fit the committed rate are green, burst tolerance yellow,
+// the rest red. The meter cannot know that the byte it just demoted to red
+// is a base-layer byte whose loss wrecks the whole frame, which is exactly
+// the paper's argument that "this work does not... allow the end flows to
+// benefit from unequal priority of the packets".
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Result {
+  double utility;
+  double psnr;
+  double intact_base;
+};
+
+Result run(bool tcm, int flows) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = flows;
+  cfg.tcp_flows = 3;
+  cfg.seed = 7;
+  cfg.source.tcm_marking = tcm;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 60 * kSecond;
+  s.run_until(duration);
+  s.finish();
+  Result out{};
+  out.utility = s.sink(0).mean_utility();
+  RunningStats psnr;
+  int base_ok = 0;
+  const auto frames = s.sink(0).quality_for_frames(50, 550);
+  for (const auto& q : frames) {
+    psnr.add(q.psnr_db);
+    base_ok += q.base_ok;
+  }
+  out.psnr = psnr.mean();
+  out.intact_base = 100.0 * base_ok / static_cast<double>(frames.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Ablation A15: semantic (PELS) vs srTCM conformance marking, same AQM");
+  TablePrinter table({"flows", "marking", "mean utility", "mean PSNR (dB)",
+                      "frames with intact base"});
+  for (int flows : {4, 8}) {
+    for (bool tcm : {false, true}) {
+      const Result r = run(tcm, flows);
+      table.add_row({TablePrinter::fmt_int(flows),
+                     tcm ? "srTCM (rate conformance)" : "PELS (semantic)",
+                     TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
+                     TablePrinter::fmt(r.intact_base, 1) + " %"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with srTCM the red class contains whatever exceeded the\n"
+            << "committed rate at that instant — including base-layer packets, whose\n"
+            << "loss collapses whole frames — and the surviving enhancement bytes are\n"
+            << "scattered instead of forming a prefix. Same AQM, far lower quality:\n"
+            << "the marker, not the queue, is where PELS's value lives (§2.1, §4.2).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A8: variable-bitrate video (paper Lemma 1 / eq. (1)).
+//
+// Part 1 validates eq. (1) itself: for lognormal and GOP frame-size
+// distributions, the analytic E[Y] from the empirical PMF matches
+// Monte-Carlo packet dropping.
+// Part 2 streams VBR video through the full stack: PELS's utility advantage
+// over best-effort must be insensitive to the frame-size distribution (the
+// priority drop pattern never depends on H).
+#include <iostream>
+#include <memory>
+
+#include "analysis/best_effort_model.h"
+#include "pels/scenario.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "video/decoder.h"
+#include "video/frame_size.h"
+
+using namespace pels;
+
+namespace {
+
+/// Monte-Carlo E[Y]: drop packets of model-sized frames i.i.d. at rate p.
+double simulate_vbr_useful(const FrameSizeModel& model, double p, std::int64_t frames,
+                           int trials_per_frame, Rng& rng) {
+  RunningStats useful;
+  for (std::int64_t f = 0; f < frames; ++f) {
+    const std::int64_t packets = (model.fgs_frame_bytes(f) + 499) / 500;
+    if (packets == 0) continue;
+    for (int t = 0; t < trials_per_frame; ++t) {
+      std::int64_t prefix = 0;
+      while (prefix < packets && !rng.bernoulli(p)) ++prefix;
+      useful.add(static_cast<double>(prefix));
+    }
+  }
+  return useful.mean();
+}
+
+}  // namespace
+
+int main() {
+  // ------------------------------------------------------------- part 1
+  print_banner(std::cout, "A8 part 1: eq. (1) vs Monte-Carlo for VBR frame sizes");
+  Rng rng(2024);
+  TablePrinter eq1({"frame-size model", "loss p", "eq. (1) E[Y]", "Monte-Carlo E[Y]"});
+  const LognormalFrameSize lognormal(8'000, 0.6, 500, 40'000, 13);
+  const GopFrameSize gop(30'000, 10'000, 12, 5);
+  const std::int64_t frames = 1'000;
+  for (const FrameSizeModel* model :
+       std::initializer_list<const FrameSizeModel*>{&lognormal, &gop}) {
+    const auto pmf = frame_size_pmf_packets(*model, frames, 500);
+    for (double p : {0.05, 0.1, 0.2}) {
+      eq1.add_row({model->name(), TablePrinter::fmt(p, 2),
+                   TablePrinter::fmt(expected_useful_packets_pmf(p, pmf), 2),
+                   TablePrinter::fmt(simulate_vbr_useful(*model, p, frames, 200, rng), 2)});
+    }
+  }
+  eq1.print(std::cout);
+
+  // ------------------------------------------------------------- part 2
+  print_banner(std::cout,
+               "A8 part 2: full-stack streaming with VBR sources (4 flows, 40 s)");
+  TablePrinter stack({"frame-size model", "bottleneck", "mean utility", "mean PSNR (dB)"});
+  for (const char* model_name : {"constant", "lognormal", "gop"}) {
+    for (BottleneckKind kind : {BottleneckKind::kPels, BottleneckKind::kBestEffort}) {
+      ScenarioConfig cfg;
+      cfg.pels_flows = 4;
+      cfg.tcp_flows = 3;
+      cfg.seed = 7;
+      cfg.bottleneck = kind;
+      if (std::string(model_name) == "lognormal") {
+        cfg.source.frame_sizes =
+            std::make_shared<LognormalFrameSize>(20'000, 0.5, 2'000, 61'400, 13);
+      } else if (std::string(model_name) == "gop") {
+        cfg.source.frame_sizes =
+            std::make_shared<GopFrameSize>(40'000, 12'000, 12, 5);
+      }
+      DumbbellScenario s(cfg);
+      s.run_until(40 * kSecond);
+      s.finish();
+      RunningStats psnr;
+      for (const auto& q : s.sink(0).quality_for_frames(50, 350)) psnr.add(q.psnr_db);
+      stack.add_row({model_name,
+                     kind == BottleneckKind::kPels ? "PELS" : "best-effort",
+                     TablePrinter::fmt(s.sink(0).mean_utility(), 3),
+                     TablePrinter::fmt(psnr.mean(), 2)});
+    }
+  }
+  stack.print(std::cout);
+  std::cout << "\nExpected: eq. (1) and Monte-Carlo agree to <1%; under the full stack\n"
+            << "PELS keeps utility ~1 for every frame-size distribution while\n"
+            << "best-effort utility stays far below — the preferential drop pattern\n"
+            << "does not depend on H (paper §3.2).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A14: non-congestive (wireless-style) loss.
+//
+// The paper's framework equates loss with congestion: MKC's feedback is
+// *demand-based* (eq. (11): p = (R-C)/R, computed from arrivals), and the
+// gamma controller reads FGS drop counts at the queue. Corruption on the
+// wire AFTER the queue is invisible to both — so, unlike loss-based
+// congestion control (TFRC's response function), MKC does not slow down for
+// wireless loss. The cost falls where it should: corrupted yellow packets
+// punch holes in the FGS prefix that no AQM can prevent, bounding utility by
+// the best-effort analysis at the corruption rate.
+#include <iostream>
+#include <memory>
+
+#include "analysis/best_effort_model.h"
+#include "cc/tfrc_lite.h"
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Result {
+  double rate;
+  double utility;
+  double psnr;
+};
+
+Result run(double wireless_loss, bool tfrc) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = 3;
+  cfg.seed = 13;
+  cfg.wireless_loss = wireless_loss;
+  if (tfrc) {
+    cfg.make_controller = [](int) {
+      TfrcLiteConfig tcfg;
+      tcfg.initial_rate_bps = 128e3;
+      return std::make_unique<TfrcLiteController>(tcfg);
+    };
+  }
+  DumbbellScenario s(cfg);
+  const SimTime duration = 40 * kSecond;
+  s.run_until(duration);
+  s.finish();
+  Result out{};
+  out.rate = s.source(0).rate_series().mean_in(20 * kSecond, duration);
+  out.utility = s.sink(0).mean_utility();
+  RunningStats psnr;
+  for (const auto& q : s.sink(0).quality_for_frames(50, 350)) psnr.add(q.psnr_db);
+  out.psnr = psnr.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Ablation A14: wireless (post-queue) corruption, 2 flows, 40 s");
+  TablePrinter table({"wire loss", "MKC rate (kb/s)", "MKC utility", "MKC PSNR",
+                      "TFRC rate (kb/s)", "TFRC utility"});
+  for (double loss : {0.0, 0.02, 0.05, 0.10}) {
+    const Result mkc = run(loss, false);
+    const Result tfrc = run(loss, true);
+    table.add_row({TablePrinter::fmt(loss, 2), TablePrinter::fmt(mkc.rate / 1e3, 0),
+                   TablePrinter::fmt(mkc.utility, 3), TablePrinter::fmt(mkc.psnr, 2),
+                   TablePrinter::fmt(tfrc.rate / 1e3, 0),
+                   TablePrinter::fmt(tfrc.utility, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: MKC's demand-based feedback holds its sending rate as wire\n"
+            << "loss grows (it cannot be confused by non-congestive loss), while\n"
+            << "TFRC's loss-driven response function backs off needlessly. Utility\n"
+            << "degrades for both — corrupted yellow packets punch prefix holes that\n"
+            << "no AQM can steer — approaching the best-effort analysis at the\n"
+            << "corruption rate (eq. (3); e.g. U ~ "
+            << TablePrinter::fmt(best_effort_utility(0.05, 25), 2)
+            << " for 5% loss on 25-packet frames).\n";
+  return 0;
+}

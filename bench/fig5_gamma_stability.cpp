@@ -1,0 +1,49 @@
+// Figure 5 (paper §4.3): evolution of gamma(k) under the proportional
+// controller (eq. (4)) for stationary loss p = 0.5 and p_thr = 0.75, with
+// stable (sigma = 0.5), slower-stable (sigma = 1.5), and unstable
+// (sigma = 3) gains. The fixed point is gamma* = p/p_thr ~ 0.667.
+//
+// Expected shape: sigma = 0.5 converges monotonically to 0.667; sigma = 1.5
+// converges with alternating overshoot; sigma = 3 diverges (Lemma 2:
+// stability iff 0 < sigma < 2). A delayed variant (eq. (5), Lemma 3)
+// reproduces the same boundary.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stability.h"
+#include "util/table.h"
+
+using namespace pels;
+
+int main() {
+  const double p = 0.5;
+  const double p_thr = 0.75;
+  const double gamma0 = 0.1;
+
+  print_banner(std::cout,
+               "Figure 5: gamma(k) trajectories, p = 0.5, p_thr = 0.75, gamma* = 2/3");
+  const auto g_low = gamma_trajectory(gamma0, p, 0.5, p_thr, 30);
+  const auto g_mid = gamma_trajectory(gamma0, p, 1.5, p_thr, 30);
+  const auto g_high = gamma_trajectory(gamma0, p, 3.0, p_thr, 30);
+  TablePrinter table({"k", "sigma = 0.5", "sigma = 1.5", "sigma = 3.0"});
+  for (int k = 0; k <= 30; k += (k < 12 ? 1 : 3)) {
+    const auto i = static_cast<std::size_t>(k);
+    table.add_row({TablePrinter::fmt_int(k), TablePrinter::fmt(g_low[i], 4),
+                   TablePrinter::fmt(g_mid[i], 4), TablePrinter::fmt(g_high[i], 3)});
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Lemma 2/3 boundary: convergence vs gain (delays 1, 3, 8)");
+  TablePrinter verdicts({"sigma", "delay 1", "delay 3", "delay 8", "Lemma 2/3 predicts"});
+  for (double sigma : {0.25, 0.5, 1.0, 1.5, 1.9, 2.0, 2.5, 3.0}) {
+    std::vector<std::string> row{TablePrinter::fmt(sigma, 2)};
+    for (int delay : {1, 3, 8}) {
+      row.push_back(gamma_converges(gamma0, p, sigma, p_thr, 8000, delay) ? "converges"
+                                                                          : "diverges");
+    }
+    row.push_back(gamma_stable_gain(sigma) ? "stable" : "unstable");
+    verdicts.add_row(std::move(row));
+  }
+  verdicts.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// event scheduling, queue disciplines, packetization, decoding, and
+// end-to-end simulated-seconds-per-wallclock-second of the full scenario.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pels/scenario.h"
+#include "queue/drop_tail.h"
+#include "queue/pels_queue.h"
+#include "queue/priority.h"
+#include "queue/red.h"
+#include "queue/wrr.h"
+#include "sim/scheduler.h"
+#include "video/decoder.h"
+#include "video/fgs.h"
+
+namespace pels {
+namespace {
+
+Packet make_packet(std::int32_t size, Color color) {
+  Packet p;
+  p.size_bytes = size;
+  p.color = color;
+  return p;
+}
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(i % 97, [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  DropTailQueue q(1024);
+  for (auto _ : state) {
+    q.enqueue(make_packet(500, Color::kGreen));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_PriorityEnqueueDequeue(benchmark::State& state) {
+  StrictPriorityQueue q({256, 256, 256}, &StrictPriorityQueue::classify_by_color);
+  int i = 0;
+  const Color colors[] = {Color::kGreen, Color::kYellow, Color::kRed};
+  for (auto _ : state) {
+    q.enqueue(make_packet(500, colors[i++ % 3]));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PriorityEnqueueDequeue);
+
+void BM_PelsQueueEnqueueDequeue(benchmark::State& state) {
+  Simulation sim;
+  PelsQueue q(sim.scheduler(), PelsQueueConfig{});
+  int i = 0;
+  const Color colors[] = {Color::kGreen, Color::kYellow, Color::kRed, Color::kInternet};
+  for (auto _ : state) {
+    q.enqueue(make_packet(500, colors[i++ % 4]));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PelsQueueEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  Scheduler sched;
+  RedQueue q(sched, Rng(1), RedConfig{});
+  for (auto _ : state) {
+    q.enqueue(make_packet(500, Color::kInternet));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_PacketizeFrame(benchmark::State& state) {
+  const VideoConfig video;
+  for (auto _ : state) {
+    const FramePlan plan = plan_frame(video, 0, 2e6, 0.15);
+    benchmark::DoNotOptimize(packetize(video, plan));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketizeFrame);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  RdModel rd;
+  FgsDecoder dec(rd);
+  FrameReception rx;
+  rx.frame_id = 10;
+  rx.base_bytes_expected = 1600;
+  rx.base_bytes_received = 1600;
+  for (std::int32_t off = 0; off < 20000; off += 500) rx.fgs_chunks.emplace_back(off, 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(rx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeFrame);
+
+void BM_FullScenarioSimulatedSecond(benchmark::State& state) {
+  // Cost of one simulated second of the 4-flow + TCP dumbbell.
+  ScenarioConfig cfg;
+  cfg.pels_flows = 4;
+  cfg.tcp_flows = 1;
+  auto scenario = std::make_unique<DumbbellScenario>(cfg);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += kSecond;
+    scenario->run_until(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullScenarioSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pels
+
+BENCHMARK_MAIN();

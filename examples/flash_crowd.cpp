@@ -1,0 +1,81 @@
+// Example: flash crowd — twelve video flows join within a minute.
+//
+// Demonstrates graceful degradation under rapidly increasing load: as flows
+// join, MKC redistributes the PELS share fairly (r* = C/N + alpha/beta
+// shrinks), every source's gamma controller tracks the rising FGS loss so
+// red keeps absorbing the congestion, and each stream's decodable quality
+// degrades smoothly (less enhancement data) instead of collapsing (no base
+// loss, no broken FGS prefixes).
+//
+// Run: ./build/examples/flash_crowd
+#include <iostream>
+
+#include "cc/mkc.h"
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+int main() {
+  constexpr int kFlows = 12;
+  ScenarioConfig cfg;
+  cfg.pels_flows = kFlows;
+  cfg.start_times = staircase_starts(kFlows, 2, 10 * kSecond);  // +2 flows / 10 s
+  cfg.tcp_flows = 2;
+  cfg.seed = 99;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 120 * kSecond;
+  s.run_until(duration);
+  s.finish();
+
+  std::cout << "PELS flash crowd: +2 flows every 10 s up to " << kFlows
+            << ", bottleneck 4 mb/s (PELS share " << s.video_capacity_bps() / 1e6
+            << " mb/s), 120 s\n";
+
+  print_banner(std::cout, "Flow 0 through the crowd (10 s windows)");
+  TablePrinter table({"window (s)", "active flows", "rate_0 (kb/s)", "r* (kb/s)",
+                      "gamma_0", "FGS loss at queue"});
+  for (SimTime t0 = 0; t0 < duration; t0 += 10 * kSecond) {
+    const SimTime t1 = t0 + 10 * kSecond;
+    const int active = std::min(kFlows, 2 * (1 + static_cast<int>(t0 / (10 * kSecond))));
+    const double r_star =
+        MkcController::stationary_rate(s.video_capacity_bps(), active, cfg.mkc);
+    table.add_row({TablePrinter::fmt(to_seconds(t0), 0) + "-" +
+                       TablePrinter::fmt(to_seconds(t1), 0),
+                   TablePrinter::fmt_int(active),
+                   TablePrinter::fmt(s.source(0).rate_series().mean_in(t0, t1) / 1e3, 0),
+                   TablePrinter::fmt(r_star / 1e3, 0),
+                   TablePrinter::fmt(s.source(0).gamma_series().mean_in(t0, t1), 3),
+                   TablePrinter::fmt(s.fgs_loss_series().mean_in(t0, t1), 3)});
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Fairness and quality once everyone is in (t > 80 s)");
+  std::vector<double> rates;
+  RunningStats utilities;
+  for (int i = 0; i < kFlows; ++i) {
+    rates.push_back(s.source(i).rate_series().mean_in(80 * kSecond, duration));
+    utilities.add(s.sink(i).mean_utility());
+  }
+  TablePrinter summary({"metric", "value"});
+  summary.add_row({"Jain fairness across 12 flows",
+                   TablePrinter::fmt(jain_fairness_index(rates), 4)});
+  summary.add_row({"per-flow rate (kb/s, mean)",
+                   TablePrinter::fmt(rates[0] / 1e3, 0)});
+  summary.add_row({"stationary prediction (kb/s)",
+                   TablePrinter::fmt(MkcController::stationary_rate(
+                                         s.video_capacity_bps(), kFlows, cfg.mkc) / 1e3, 0)});
+  summary.add_row({"mean FGS utility across flows", TablePrinter::fmt(utilities.mean(), 3)});
+  summary.add_row({"worst FGS utility", TablePrinter::fmt(utilities.min(), 3)});
+  summary.add_row(
+      {"green loss at bottleneck",
+       TablePrinter::fmt(s.loss_series(Color::kGreen).mean_in(0, duration), 5)});
+  summary.print(std::cout);
+
+  std::cout << "\nEach join step shifts every flow to the new fair share within a few\n"
+            << "seconds; gamma rises with the loss so the red class keeps soaking up\n"
+            << "the congestion — quality degrades by shedding enhancement bit planes,\n"
+            << "never by corrupting what is delivered.\n";
+  return 0;
+}

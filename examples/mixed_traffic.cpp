@@ -1,0 +1,79 @@
+// Example: PELS video sharing a bottleneck with aggressive TCP traffic.
+//
+// The PELS architecture separates video from "the rest of the Internet" with
+// one WRR scheduler (paper §4.1): the Internet queue gets its configured
+// share no matter how inelastic the video is, and the video class keeps its
+// share no matter how many TCP flows pile in. This example runs the same
+// video workload against 1, 4, and 8 greedy TCP flows and shows both sides
+// of the isolation, plus what happens to TCP when the split changes.
+//
+// Run: ./build/examples/mixed_traffic
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+struct Result {
+  double video_rate;
+  double video_utility;
+  double tcp_goodput;
+  double green_delay_ms;
+};
+
+Result run(int tcp_flows, double pels_weight) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = tcp_flows;
+  cfg.seed = 5;
+  cfg.pels_queue.pels_weight = pels_weight;
+  cfg.pels_queue.internet_weight = 1.0 - pels_weight;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 40 * kSecond;
+  s.run_until(duration);
+  s.finish();
+
+  Result out{};
+  out.video_rate = s.source(0).rate_series().mean_in(20 * kSecond, duration) +
+                   s.source(1).rate_series().mean_in(20 * kSecond, duration);
+  out.video_utility = s.sink(0).mean_utility();
+  for (int i = 0; i < tcp_flows; ++i) out.tcp_goodput += s.tcp_source(i).goodput_bps(duration);
+  out.green_delay_ms = s.sink(0).delay_samples(Color::kGreen).mean() * 1e3;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "PELS + TCP mixed traffic: 2 video flows, 4 mb/s bottleneck, 40 s\n";
+
+  print_banner(std::cout, "Video isolation: more TCP flows change nothing for video");
+  TablePrinter iso({"TCP flows", "video rate sum (kb/s)", "video utility",
+                    "green delay (ms)", "TCP goodput sum (mb/s)"});
+  for (int tcp : {1, 4, 8}) {
+    const Result r = run(tcp, 0.5);
+    iso.add_row({TablePrinter::fmt_int(tcp), TablePrinter::fmt(r.video_rate / 1e3, 0),
+                 TablePrinter::fmt(r.video_utility, 3),
+                 TablePrinter::fmt(r.green_delay_ms, 1),
+                 TablePrinter::fmt(r.tcp_goodput / 1e6, 2)});
+  }
+  iso.print(std::cout);
+  std::cout << "\nThe video aggregate stays at C_pels + N*alpha/beta ~ 2.08 mb/s and its\n"
+            << "delays stay flat whether 1 or 8 TCP flows share the link; the TCP\n"
+            << "aggregate holds the Internet share (~2 mb/s) regardless of count.\n";
+
+  print_banner(std::cout, "Operator knob: shifting the WRR split (4 TCP flows)");
+  TablePrinter split({"PELS share", "video rate sum (kb/s)", "TCP goodput sum (mb/s)"});
+  for (double w : {0.3, 0.5, 0.7}) {
+    const Result r = run(4, w);
+    split.add_row({TablePrinter::fmt(w, 1), TablePrinter::fmt(r.video_rate / 1e3, 0),
+                   TablePrinter::fmt(r.tcp_goodput / 1e6, 2)});
+  }
+  split.print(std::cout);
+  std::cout << "\nWeights translate directly into bandwidth shares — the paper's\n"
+            << "'de-centralized administrative flexibility' (§4.1).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Example: interactive video conferencing over PELS.
+//
+// The paper's second goal (§1) is a retransmission-free, low-delay service:
+// interactive applications such as video telephony cannot wait for
+// retransmissions, and frames have strict decoding deadlines. This example
+// runs three conference participants' video flows plus web-like TCP cross
+// traffic and checks the delay budget that matters for interactivity: the
+// one-way delay of the packets the decoder actually uses (green + yellow).
+// Red packets exist to be lost; their delay is irrelevant to the user.
+//
+// Run: ./build/examples/video_conference
+#include <iostream>
+
+#include "pels/scenario.h"
+#include "util/table.h"
+
+using namespace pels;
+
+int main() {
+  constexpr double kInteractiveBudgetMs = 150.0;  // ITU-T G.114 one-way target
+
+  ScenarioConfig cfg;
+  cfg.pels_flows = 3;
+  cfg.tcp_flows = 2;
+  cfg.seed = 42;
+  // Conferencing favours responsiveness: tighter control clock.
+  cfg.source.control_interval = from_millis(100);
+  DumbbellScenario s(cfg);
+  const SimTime duration = 60 * kSecond;
+  s.run_until(duration);
+  s.finish();
+
+  std::cout << "PELS video conference: 3 participants + 2 TCP flows, 60 s\n";
+
+  print_banner(std::cout, "One-way delay per priority class (all participants)");
+  TablePrinter delays({"participant", "class", "mean (ms)", "p95 (ms)", "p99 (ms)",
+                       "within 150 ms budget"});
+  for (int i = 0; i < 3; ++i) {
+    for (Color c : {Color::kGreen, Color::kYellow, Color::kRed}) {
+      const auto& d = s.sink(i).delay_samples(c);
+      if (d.empty()) continue;
+      const double p99 = d.quantile(0.99) * 1e3;
+      delays.add_row({"P" + std::to_string(i), color_name(c),
+                      TablePrinter::fmt(d.mean() * 1e3, 1),
+                      TablePrinter::fmt(d.quantile(0.95) * 1e3, 1),
+                      TablePrinter::fmt(p99, 1),
+                      c == Color::kRed ? "n/a (probe traffic)"
+                                       : (p99 <= kInteractiveBudgetMs ? "yes" : "NO")});
+    }
+  }
+  delays.print(std::cout);
+
+  print_banner(std::cout, "Call quality (per participant)");
+  TablePrinter quality({"participant", "rate (kb/s)", "FGS utility", "frames decoded",
+                        "frames with intact base"});
+  for (int i = 0; i < 3; ++i) {
+    const auto frames = s.sink(i).quality_for_frames(10, 590);
+    int base_ok = 0;
+    for (const auto& q : frames) base_ok += q.base_ok;
+    quality.add_row(
+        {"P" + std::to_string(i),
+         TablePrinter::fmt(s.source(i).rate_series().mean_in(20 * kSecond, duration) / 1e3, 0),
+         TablePrinter::fmt(s.sink(i).mean_utility(), 3),
+         TablePrinter::fmt_int(static_cast<long long>(frames.size())),
+         TablePrinter::fmt(100.0 * base_ok / static_cast<double>(frames.size()), 1) + " %"});
+  }
+  quality.print(std::cout);
+
+  std::cout << "\nNo packet was ever retransmitted and no FEC was sent: the decodable\n"
+            << "classes (green/yellow) ride the top priority bands, so their delay\n"
+            << "stays near the propagation floor even under congestion.\n";
+  return 0;
+}

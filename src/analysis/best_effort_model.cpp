@@ -1,0 +1,75 @@
+#include "analysis/best_effort_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+double expected_useful_packets(double p, std::int64_t frame_packets) {
+  assert(p >= 0.0 && p <= 1.0);
+  assert(frame_packets >= 1);
+  const auto h = static_cast<double>(frame_packets);
+  if (p <= 0.0) return h;
+  if (p >= 1.0) return 0.0;
+  return (1.0 - p) / p * (1.0 - std::pow(1.0 - p, h));
+}
+
+double expected_useful_packets_pmf(double p, std::span<const double> pmf) {
+  assert(p >= 0.0 && p <= 1.0);
+  double total_weight = 0.0;
+  for (double w : pmf) total_weight += w;
+  if (total_weight <= 0.0) return 0.0;
+  if (p <= 0.0) {
+    // Limit: E[Y] = E[H].
+    double mean = 0.0;
+    for (std::size_t k = 0; k < pmf.size(); ++k)
+      mean += static_cast<double>(k + 1) * pmf[k] / total_weight;
+    return mean;
+  }
+  if (p >= 1.0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    sum += (1.0 - std::pow(1.0 - p, static_cast<double>(k + 1))) * pmf[k] / total_weight;
+  }
+  return (1.0 - p) / p * sum;
+}
+
+double best_effort_utility(double p, std::int64_t frame_packets) {
+  assert(p >= 0.0 && p < 1.0);
+  assert(frame_packets >= 1);
+  if (p <= 0.0) return 1.0;
+  const auto h = static_cast<double>(frame_packets);
+  return (1.0 - std::pow(1.0 - p, h)) / (h * p);
+}
+
+double optimal_useful_packets(double p, std::int64_t frame_packets) {
+  assert(p >= 0.0 && p <= 1.0);
+  return static_cast<double>(frame_packets) * (1.0 - p);
+}
+
+double pels_utility_bound(double p, double p_thr) {
+  assert(p >= 0.0 && p < 1.0);
+  assert(p_thr > 0.0 && p_thr <= 1.0);
+  assert(p < p_thr && "bound holds only while red absorbs all loss");
+  return (1.0 - p / p_thr) / (1.0 - p);
+}
+
+double simulate_useful_packets(Rng& rng, double p, std::int64_t frame_packets,
+                               std::int64_t trials) {
+  assert(trials > 0);
+  std::int64_t useful_total = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    for (std::int64_t i = 0; i < frame_packets; ++i) {
+      if (rng.bernoulli(p)) break;  // first loss ends the useful prefix
+      ++useful_total;
+    }
+  }
+  return static_cast<double>(useful_total) / static_cast<double>(trials);
+}
+
+double useful_packets_limit(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  return (1.0 - p) / p;
+}
+
+}  // namespace pels

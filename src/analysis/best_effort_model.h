@@ -1,0 +1,57 @@
+// Closed-form models of best-effort and PELS streaming (paper §3, §4.3).
+//
+// Under i.i.d. Bernoulli packet loss p, for an FGS frame of H packets the
+// number of *useful* packets (the consecutive received prefix) has
+// expectation
+//
+//   E[Y] = (1-p)/p * (1 - (1-p)^H)                                (eq. (2))
+//
+// and, for a random frame-size distribution {q_k},
+//
+//   E[Y] = (1-p)/p * sum_k (1 - (1-p)^k) q_k                      (eq. (1))
+//
+// Utility — the fraction of *received* packets that are useful — is
+//
+//   U = E[Y] / (H(1-p)) = (1 - (1-p)^H) / (Hp)                    (eq. (3))
+//
+// while the optimal preferential scheme keeps U = 1 for any p, H (§3.2), and
+// PELS with threshold p_thr is lower-bounded by
+//
+//   U >= (1 - p/p_thr) / (1 - p)                                  (eq. (6)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace pels {
+
+/// E[Y] for constant frame size H (eq. (2)). Requires 0 <= p <= 1, H >= 1;
+/// the p -> 0 limit (E[Y] -> H) is handled explicitly.
+double expected_useful_packets(double p, std::int64_t frame_packets);
+
+/// E[Y] for a frame-size PMF over sizes 1..q.size() where q[k-1] = P(H = k)
+/// (eq. (1)). The PMF need not be normalized; it is treated as weights.
+double expected_useful_packets_pmf(double p, std::span<const double> pmf);
+
+/// Best-effort utility (eq. (3)). 1.0 in the p -> 0 limit.
+double best_effort_utility(double p, std::int64_t frame_packets);
+
+/// Expected useful packets under the optimal preferential drop pattern:
+/// all H(1-p) received packets are consecutive (§3.2).
+double optimal_useful_packets(double p, std::int64_t frame_packets);
+
+/// PELS utility lower bound (eq. (6)); requires p < p_thr <= 1 and p < 1.
+double pels_utility_bound(double p, double p_thr);
+
+/// Monte-Carlo estimate of E[Y]: simulates `trials` frames of `frame_packets`
+/// packets through Bernoulli(p) loss and averages the useful prefix length.
+/// Used to validate the closed forms (paper Table 1's "Simulations" column).
+double simulate_useful_packets(Rng& rng, double p, std::int64_t frame_packets,
+                               std::int64_t trials);
+
+/// Saturation limit of E[Y] as H -> infinity: (1-p)/p.
+double useful_packets_limit(double p);
+
+}  // namespace pels

@@ -1,0 +1,69 @@
+#include "analysis/burstiness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pels {
+
+void BurstAnalyzer::add(bool lost) {
+  ++packets_;
+  if (lost) {
+    ++lost_;
+    ++open_burst_;
+  } else if (open_burst_ > 0) {
+    bursts_.push_back(open_burst_);
+    open_burst_ = 0;
+  }
+}
+
+void BurstAnalyzer::finish() {
+  if (open_burst_ > 0) {
+    bursts_.push_back(open_burst_);
+    open_burst_ = 0;
+  }
+}
+
+double BurstAnalyzer::loss_rate() const {
+  return packets_ == 0 ? 0.0 : static_cast<double>(lost_) / static_cast<double>(packets_);
+}
+
+double BurstAnalyzer::mean_burst_length() const {
+  if (bursts_.empty()) return 0.0;
+  std::int64_t total = 0;
+  for (auto b : bursts_) total += b;
+  return static_cast<double>(total) / static_cast<double>(bursts_.size());
+}
+
+double BurstAnalyzer::max_burst_length() const {
+  return bursts_.empty() ? 0.0
+                         : static_cast<double>(*std::max_element(bursts_.begin(), bursts_.end()));
+}
+
+double BurstAnalyzer::ccdf(std::int64_t k) const {
+  if (bursts_.empty()) return 0.0;
+  std::int64_t above = 0;
+  for (auto b : bursts_)
+    if (b > k) ++above;
+  return static_cast<double>(above) / static_cast<double>(bursts_.size());
+}
+
+std::vector<bool> loss_outcomes_from_trace(const PacketTracer& tracer, FlowId flow,
+                                           Color color) {
+  // A packet is lost iff its uid appears in a drop record. Build the drop
+  // set first, then walk enqueues in order.
+  std::unordered_set<std::uint64_t> dropped;
+  for (const auto& rec : tracer.records()) {
+    if (rec.event == TraceEvent::kDrop && rec.flow == flow && rec.color == color) {
+      dropped.insert(rec.uid);
+    }
+  }
+  std::vector<bool> outcomes;
+  for (const auto& rec : tracer.records()) {
+    if (rec.event == TraceEvent::kEnqueue && rec.flow == flow && rec.color == color) {
+      outcomes.push_back(dropped.count(rec.uid) != 0);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace pels

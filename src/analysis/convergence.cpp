@@ -1,0 +1,44 @@
+#include "analysis/convergence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+std::size_t settling_index(std::span<const double> values, double target, double band) {
+  std::size_t settled_from = values.size();
+  for (std::size_t i = values.size(); i-- > 0;) {
+    if (std::abs(values[i] - target) <= band) {
+      settled_from = i;
+    } else {
+      break;
+    }
+  }
+  return settled_from;
+}
+
+SimTime settling_time(const TimeSeries& series, double target, double band) {
+  SimTime settled = kTimeNever;
+  for (std::size_t i = series.size(); i-- > 0;) {
+    if (std::abs(series[i].value - target) <= band) {
+      settled = series[i].t;
+    } else {
+      break;
+    }
+  }
+  return settled;
+}
+
+double tail_oscillation(std::span<const double> values, double target, double tail) {
+  assert(tail > 0.0 && tail <= 1.0);
+  if (values.empty()) return 0.0;
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(values.size()) * (1.0 - tail));
+  double worst = 0.0;
+  for (std::size_t i = start; i < values.size(); ++i)
+    worst = std::max(worst, std::abs(values[i] - target));
+  return worst;
+}
+
+}  // namespace pels

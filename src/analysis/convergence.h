@@ -1,0 +1,23 @@
+// Convergence metrics for controller trajectories and simulation series.
+#pragma once
+
+#include <span>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace pels {
+
+/// First index after which every value stays within `band` (absolute) of
+/// `target`; returns the sequence length if it never settles.
+std::size_t settling_index(std::span<const double> values, double target, double band);
+
+/// First time after which a series stays within `band` of `target`;
+/// kTimeNever if it never settles.
+SimTime settling_time(const TimeSeries& series, double target, double band);
+
+/// Max |value - target| over the tail fraction of a sequence (steady-state
+/// oscillation amplitude). `tail` in (0, 1].
+double tail_oscillation(std::span<const double> values, double target, double tail = 0.25);
+
+}  // namespace pels

@@ -1,0 +1,27 @@
+#include "cc/aimd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+AimdController::AimdController(AimdConfig config) : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.increase_bps > 0.0);
+  assert(cfg_.decrease_factor > 0.0 && cfg_.decrease_factor < 1.0);
+  assert(cfg_.min_rate_bps > 0.0 && cfg_.min_rate_bps <= cfg_.initial_rate_bps);
+}
+
+void AimdController::on_router_feedback(double p, SimTime now) {
+  if (p > 0.0) {
+    if (last_decrease_ == kTimeNever || now - last_decrease_ >= cfg_.backoff_guard) {
+      rate_ *= cfg_.decrease_factor;
+      last_decrease_ = now;
+      ++decreases_;
+    }
+  } else {
+    rate_ += cfg_.increase_bps;
+  }
+  rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+}
+
+}  // namespace pels

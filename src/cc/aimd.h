@@ -1,0 +1,42 @@
+// Rate-based AIMD controller (baseline).
+//
+// Additive increase of `increase_bps` per feedback epoch while the bottleneck
+// reports spare capacity; one multiplicative decrease by `decrease_factor`
+// per congestion episode (back-offs are spaced at least one RTT apart so a
+// burst of positive-loss epochs counts as a single congestion event, as in
+// TCP). The paper cites AIMD's large rate oscillation as the reason MKC is
+// preferred for video (§5); the ablation bench quantifies that oscillation.
+#pragma once
+
+#include "cc/controller.h"
+
+namespace pels {
+
+struct AimdConfig {
+  double increase_bps = 20e3;    // additive step per feedback epoch
+  double decrease_factor = 0.5;  // rate *= factor on congestion
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;
+  double max_rate_bps = 1e9;
+  SimTime backoff_guard = from_millis(100);  // min spacing of decreases (~RTT)
+};
+
+class AimdController : public CongestionController {
+ public:
+  explicit AimdController(AimdConfig config);
+
+  double rate_bps() const override { return rate_; }
+  void on_router_feedback(double p, SimTime now) override;
+  void set_rtt(SimTime rtt) override { cfg_.backoff_guard = rtt; }
+  const char* name() const override { return "AIMD"; }
+
+  std::uint64_t decreases() const { return decreases_; }
+
+ private:
+  AimdConfig cfg_;
+  double rate_;
+  SimTime last_decrease_ = kTimeNever;  // sentinel: no decrease yet
+  std::uint64_t decreases_ = 0;
+};
+
+}  // namespace pels

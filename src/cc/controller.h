@@ -1,0 +1,48 @@
+// Congestion-controller interface used by PELS sources.
+//
+// PELS is deliberately independent of the congestion controller (paper §5):
+// the source feeds whichever controller it owns with (a) epoch-filtered
+// router feedback p from ACK labels and (b) receiver-measured loss per
+// control interval, and reads back a sending rate. MKC uses (a); AIMD and
+// TFRC-lite use either; all can drive the same PELS source.
+#pragma once
+
+#include "util/time.h"
+
+namespace pels {
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  /// Current sending rate in bits per second.
+  virtual double rate_bps() const = 0;
+
+  /// Fresh router feedback p (eq. (11)): negative when the bottleneck is
+  /// underutilized, in (0, 1) under congestion. The caller guarantees each
+  /// router epoch is delivered at most once (§5.2 freshness rule).
+  virtual void on_router_feedback(double p, SimTime now) = 0;
+
+  /// Receiver-measured loss fraction over the last control interval, in
+  /// [0, 1]. Default: ignored (router-driven controllers).
+  virtual void on_loss_interval(double p, SimTime now) {
+    (void)p;
+    (void)now;
+  }
+
+  /// Receiver-measured ECN mark fraction over the last control interval, in
+  /// [0, 1]. Default: ignored (only marking-driven controllers — REM — use
+  /// it).
+  virtual void on_mark_fraction(double f, SimTime now) {
+    (void)f;
+    (void)now;
+  }
+
+  /// Smoothed round-trip estimate, for controllers that need one (TFRC).
+  virtual void set_rtt(SimTime rtt) { (void)rtt; }
+
+  /// Controller name for traces and tables.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pels

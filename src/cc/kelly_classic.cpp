@@ -1,0 +1,46 @@
+#include "cc/kelly_classic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace pels {
+
+KellyClassicController::KellyClassicController(KellyClassicConfig config)
+    : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.kappa > 0.0);
+  assert(cfg_.willingness_bps > 0.0);
+  assert(cfg_.min_rate_bps > 0.0 && cfg_.min_rate_bps <= cfg_.initial_rate_bps);
+}
+
+void KellyClassicController::on_router_feedback(double p, SimTime /*now*/) {
+  // The router's p = (R-C)/R can be negative (spare capacity); the classical
+  // law expects a nonnegative price, so clamp — spare capacity then grows
+  // the rate at the full willingness-to-pay slope kappa*w.
+  const double price = std::max(p, 0.0);
+  rate_ = rate_ + cfg_.kappa * (cfg_.willingness_bps - rate_ * price);
+  rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+}
+
+std::vector<double> kelly_classic_trajectory(double r0, double capacity, double kappa,
+                                             double willingness, int steps, int delay,
+                                             double price_steepness) {
+  assert(steps > 0 && delay >= 1);
+  std::vector<double> r;
+  r.reserve(static_cast<std::size_t>(steps) + 1);
+  r.push_back(r0);
+  for (int k = 0; k < steps; ++k) {
+    const int src = std::max(0, k - (delay - 1));
+    const double r_delayed = r[static_cast<std::size_t>(src)];
+    const double price = std::pow(std::max(r_delayed, 0.0) / capacity, price_steepness);
+    // Note: the *current* rate integrates the delayed price signal — the
+    // structure whose phase lag destabilizes the loop as D grows.
+    double next = r.back() + kappa * (willingness - r_delayed * price);
+    if (next < 1.0) next = 1.0;
+    r.push_back(next);
+  }
+  return r;
+}
+
+}  // namespace pels

@@ -1,0 +1,52 @@
+// Classical discrete Kelly control (Johari & Tan 2001 form), included as the
+// motivating *negative* baseline for MKC.
+//
+//   r(k+1) = r(k) + kappa * (w - r(k - D) * p(k - D))
+//
+// where w is the flow's willingness-to-pay and p the path price (loss).
+// The paper (§5.1) selects MKC over this classical form precisely because
+// "the classical discrete Kelly control ... shows stability problems when
+// the feedback delay becomes large": its stability condition tightens with
+// the feedback delay D (kappa < ~pi/(2D) in the linearized single-link
+// case), whereas MKC's 0 < beta < 2 is delay-independent (Lemma 5).
+// bench/ablation_kelly_vs_mkc reproduces exactly that contrast.
+#pragma once
+
+#include <vector>
+
+#include "cc/controller.h"
+
+namespace pels {
+
+struct KellyClassicConfig {
+  double kappa = 0.5;              // gain
+  double willingness_bps = 40e3;   // w: target spend rate (r* = w/p*)
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;
+  double max_rate_bps = 1e9;
+};
+
+class KellyClassicController : public CongestionController {
+ public:
+  explicit KellyClassicController(KellyClassicConfig config);
+
+  double rate_bps() const override { return rate_; }
+  void on_router_feedback(double p, SimTime now) override;
+  const char* name() const override { return "Kelly-classic"; }
+
+  const KellyClassicConfig& config() const { return cfg_; }
+
+ private:
+  KellyClassicConfig cfg_;
+  double rate_;
+};
+
+/// Pure iterate of the classical Kelly map for one flow against a
+/// single-link price p(k) = (r(k)/C)^b (a standard congestion-price law with
+/// steepness b), with feedback delay D steps. Returns the rate trajectory.
+/// Used by tests/benches to exhibit the delay-induced instability.
+std::vector<double> kelly_classic_trajectory(double r0, double capacity, double kappa,
+                                             double willingness, int steps, int delay,
+                                             double price_steepness = 4.0);
+
+}  // namespace pels

@@ -1,0 +1,34 @@
+// Continuous-feedback Kelly controller (paper eq. (7); Dai & Loguinov 2003):
+//
+//   dr/dt = alpha - beta * p(t) * r(t)
+//
+// Provided as a forward-Euler integrator for analysis and tests: its unique
+// equilibrium under constant loss p > 0 is r* = alpha / (beta * p), and the
+// discrete MKC map reduces to this ODE as the step size shrinks. Not used on
+// the packet path (real sources adjust at discrete feedback instants).
+#pragma once
+
+#include <cstdint>
+
+namespace pels {
+
+class KellyContinuousController {
+ public:
+  KellyContinuousController(double alpha, double beta, double initial_rate)
+      : alpha_(alpha), beta_(beta), rate_(initial_rate) {}
+
+  /// Advances the ODE by dt seconds under loss p(t) = p.
+  void step(double p, double dt) { rate_ += (alpha_ - beta_ * p * rate_) * dt; }
+
+  double rate() const { return rate_; }
+
+  /// Equilibrium rate under constant loss p > 0.
+  double equilibrium(double p) const { return alpha_ / (beta_ * p); }
+
+ private:
+  double alpha_;
+  double beta_;
+  double rate_;
+};
+
+}  // namespace pels

@@ -1,0 +1,25 @@
+#include "cc/mkc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+MkcController::MkcController(MkcConfig config) : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.alpha_bps > 0.0);
+  assert(cfg_.beta > 0.0 && cfg_.beta < 2.0 && "MKC is stable only for beta in (0, 2)");
+  assert(cfg_.min_rate_bps > 0.0 && cfg_.min_rate_bps <= cfg_.initial_rate_bps);
+  assert(cfg_.initial_rate_bps <= cfg_.max_rate_bps);
+}
+
+void MkcController::on_router_feedback(double p, SimTime /*now*/) {
+  // Eq. (8). p < 0 (underutilization) makes the multiplicative term positive,
+  // producing the exponential ramp toward capacity; p > 0 produces the
+  // proportional back-off.
+  double next = rate_ + cfg_.alpha_bps - cfg_.beta * rate_ * p;
+  next = std::min(next, rate_ * cfg_.max_growth_factor);
+  rate_ = std::clamp(next, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  ++updates_;
+}
+
+}  // namespace pels

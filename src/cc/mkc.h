@@ -1,0 +1,55 @@
+// Max-min Kelly Control (paper eq. (8); Zhang/Kang/Loguinov 2003).
+//
+//   r_i(k) = r_i(k - D_i) + alpha - beta * r_i(k - D_i) * p_l(k - D_i<-)
+//
+// Feedback p_l comes from the most-congested router on the path (max-min
+// semantics enforced by the label override rule). The discrete map has a
+// single stationary point r* = C/N + alpha/beta, converges exponentially, is
+// stable for 0 < beta < 2 under arbitrary heterogeneous delays (Lemma 5), and
+// does not penalize long-RTT flows (Lemma 6).
+#pragma once
+
+#include "cc/controller.h"
+
+namespace pels {
+
+struct MkcConfig {
+  double alpha_bps = 20e3;    // additive gain per feedback epoch (20 kb/s)
+  double beta = 0.5;          // multiplicative gain; stable iff 0 < beta < 2
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;  // floor keeps the control loop alive
+  double max_rate_bps = 1e9;
+  /// Cap on the per-update growth factor. On a near-idle link p saturates at
+  /// the feedback floor and the raw map multiplies the rate by 1 + beta*|p|
+  /// per epoch; because the router's rate estimate lags by a couple of
+  /// intervals, an uncapped ramp overshoots far past capacity before the
+  /// feedback catches up. Doubling per epoch still claims an idle link
+  /// exponentially (128 kb/s -> 2 mb/s in four epochs, the paper's "~0.1 s").
+  double max_growth_factor = 2.0;
+};
+
+class MkcController : public CongestionController {
+ public:
+  explicit MkcController(MkcConfig config);
+
+  double rate_bps() const override { return rate_; }
+  void on_router_feedback(double p, SimTime now) override;
+  const char* name() const override { return "MKC"; }
+
+  /// Number of feedback updates applied (one per fresh epoch).
+  std::uint64_t updates() const { return updates_; }
+
+  const MkcConfig& config() const { return cfg_; }
+
+  /// Stationary rate of eq. (10): C/N + alpha/beta.
+  static double stationary_rate(double capacity_bps, int flows, const MkcConfig& cfg) {
+    return capacity_bps / flows + cfg.alpha_bps / cfg.beta;
+  }
+
+ private:
+  MkcConfig cfg_;
+  double rate_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,29 @@
+#include "cc/rem_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+RemController::RemController(RemControllerConfig config)
+    : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.kappa > 0.0);
+  assert(cfg_.willingness > 0.0);
+  assert(cfg_.phi > 1.0);
+}
+
+void RemController::on_router_feedback(double /*p*/, SimTime /*now*/) {
+  // Intentionally ignored: a pure REM source reacts to marks only. (The PELS
+  // framework still delivers these labels; mixing both signals would
+  // double-count congestion.)
+}
+
+void RemController::on_mark_fraction(double f, SimTime /*now*/) {
+  f = std::clamp(f, 0.0, 0.999999);
+  price_ = -std::log1p(-f) / std::log(cfg_.phi);
+  rate_ = rate_ + cfg_.kappa * (cfg_.willingness - rate_ * price_);
+  rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+}
+
+}  // namespace pels

@@ -1,0 +1,50 @@
+// REM-responsive source controller (Lapsley & Low, the paper's §2.2 ref
+// [20]): utility-maximizing rate control driven by ECN mark fractions
+// instead of loss.
+//
+// The REM router marks with probability 1 - phi^(-price); prices sum along
+// the path, so from an observed mark fraction f the source recovers the path
+// price  p = -log_phi(1 - f)  and ascends its net utility
+// w log r - r p via
+//
+//   r(k+1) = r(k) + kappa * (w - r(k) * p(k))
+//
+// whose fixed point is r* = w/p*: weighted proportional fairness with zero
+// packet loss (congestion is signalled, never enforced).
+#pragma once
+
+#include "cc/controller.h"
+
+namespace pels {
+
+struct RemControllerConfig {
+  double kappa = 0.15;           // gain
+  double willingness = 100e3;    // w: bandwidth-price budget (bits/s * price)
+  double phi = 2.0;              // must match the routers' marking base
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;
+  double max_rate_bps = 1e9;
+};
+
+class RemController : public CongestionController {
+ public:
+  explicit RemController(RemControllerConfig config);
+
+  double rate_bps() const override { return rate_; }
+  /// Router loss feedback is ignored: REM signals through marks.
+  void on_router_feedback(double p, SimTime now) override;
+  void on_mark_fraction(double f, SimTime now) override;
+  const char* name() const override { return "REM"; }
+
+  /// Path price recovered from the last mark fraction.
+  double estimated_price() const { return price_; }
+
+  const RemControllerConfig& config() const { return cfg_; }
+
+ private:
+  RemControllerConfig cfg_;
+  double rate_;
+  double price_ = 0.0;
+};
+
+}  // namespace pels

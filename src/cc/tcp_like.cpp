@@ -1,0 +1,155 @@
+#include "cc/tcp_like.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+TcpLikeSource::TcpLikeSource(Simulation& sim, Host& host, FlowId flow, NodeId dst,
+                             TcpConfig config)
+    : sim_(sim),
+      host_(host),
+      flow_(flow),
+      dst_(dst),
+      cfg_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh) {
+  assert(cfg_.packet_size_bytes > 0);
+  host_.register_agent(flow_, this);
+}
+
+TcpLikeSource::~TcpLikeSource() {
+  if (rto_event_ != 0) sim_.scheduler().cancel(rto_event_);
+  host_.unregister_agent(flow_);
+}
+
+void TcpLikeSource::start(SimTime at) {
+  sim_.at(at, [this] {
+    started_ = true;
+    start_time_ = sim_.now();
+    send_allowed();
+    arm_rto();
+  });
+}
+
+void TcpLikeSource::send_allowed() {
+  // Window check against cumulatively-acked data; dup-acked packets are not
+  // subtracted (no SACK), which slightly under-fills during recovery — an
+  // acceptable Reno-ish approximation for cross traffic.
+  const auto window = static_cast<std::uint64_t>(cwnd_);
+  while (next_seq_ < highest_acked_ + window) transmit(next_seq_++);
+}
+
+void TcpLikeSource::transmit(std::uint64_t seq) {
+  Packet pkt;
+  pkt.uid = (static_cast<std::uint64_t>(flow_) << 40) | sent_;
+  pkt.flow = flow_;
+  pkt.seq = seq;
+  pkt.size_bytes = cfg_.packet_size_bytes;
+  pkt.color = Color::kInternet;
+  pkt.src = host_.id();
+  pkt.dst = dst_;
+  pkt.created_at = sim_.now();
+  ++sent_;
+  host_.send(std::move(pkt));
+}
+
+void TcpLikeSource::arm_rto() {
+  if (rto_event_ != 0) sim_.scheduler().cancel(rto_event_);
+  rto_event_ = sim_.after(cfg_.rto, [this] { on_rto(); });
+}
+
+void TcpLikeSource::on_rto() {
+  rto_event_ = 0;
+  if (!started_) return;
+  // Coarse timeout: collapse to slow start and resend the missing segment.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = cfg_.initial_cwnd;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  next_seq_ = std::max(next_seq_, highest_acked_);
+  transmit(highest_acked_);
+  ++retransmits_;
+  arm_rto();
+}
+
+void TcpLikeSource::on_packet(const Packet& pkt) {
+  if (!pkt.ack) return;
+  on_ack(pkt.ack->acked_seq);
+}
+
+void TcpLikeSource::on_ack(std::uint64_t ack_seq) {
+  if (ack_seq > highest_acked_) {
+    highest_acked_ = ack_seq;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (highest_acked_ >= recovery_point_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ACK: the next hole is at the new cumulative point;
+        // retransmit it immediately instead of stalling until the RTO.
+        transmit(highest_acked_);
+        ++retransmits_;
+      }
+    }
+    if (!in_recovery_) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;  // slow start: one packet per ACK
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      }
+    }
+    arm_rto();
+    send_allowed();
+    return;
+  }
+  // Duplicate cumulative ACK.
+  ++dup_acks_;
+  if (dup_acks_ == 3 && !in_recovery_) {
+    in_recovery_ = true;
+    recovery_point_ = next_seq_;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;
+    transmit(highest_acked_);  // fast retransmit
+    ++retransmits_;
+  }
+}
+
+double TcpLikeSource::goodput_bps(SimTime now) const {
+  const SimTime elapsed = now - start_time_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(highest_acked_) * cfg_.packet_size_bytes * 8.0 /
+         to_seconds(elapsed);
+}
+
+TcpSink::TcpSink(Host& host, FlowId flow, NodeId src_node, TcpConfig config)
+    : host_(host), flow_(flow), src_node_(src_node), cfg_(config) {
+  host_.register_agent(flow_, this);
+}
+
+void TcpSink::on_packet(const Packet& pkt) {
+  if (pkt.ack) return;  // we only expect data here
+  ++received_;
+  if (pkt.seq == cum_ack_) {
+    ++cum_ack_;
+    // Absorb any buffered out-of-order segments that are now in order.
+    while (out_of_order_.erase(cum_ack_) > 0) ++cum_ack_;
+  } else if (pkt.seq > cum_ack_) {
+    out_of_order_.insert(pkt.seq);
+  }
+  Packet ack;
+  ack.uid = pkt.uid | (1ULL << 63);
+  ack.flow = flow_;
+  ack.seq = pkt.seq;
+  ack.size_bytes = cfg_.ack_size_bytes;
+  ack.color = Color::kInternet;
+  ack.src = host_.id();
+  ack.dst = src_node_;
+  ack.created_at = pkt.created_at;  // preserved so the source could infer RTT
+  ack.ack = AckInfo{};
+  ack.ack->acked_seq = cum_ack_;
+  host_.send(std::move(ack));
+}
+
+}  // namespace pels

@@ -1,0 +1,50 @@
+// TFRC-lite: simplified equation-based rate control (Floyd & Padhye 2000).
+//
+// Tracks a smoothed loss-event rate from receiver-measured interval losses
+// and sets the sending rate to the simplified TCP-friendly response function
+//
+//   r = s * sqrt(3/2) / (RTT * sqrt(p))
+//
+// capped by a slow-start-style doubling when no loss has been observed.
+// Included as the second non-MKC controller for the CC-independence ablation
+// (paper §5 states PELS works with "any congestion control including TFRC").
+#pragma once
+
+#include "cc/controller.h"
+
+namespace pels {
+
+struct TfrcLiteConfig {
+  double packet_size_bytes = 500.0;  // s in the response function
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;
+  double max_rate_bps = 1e9;
+  double loss_ewma = 0.25;  // smoothing gain for the loss-event rate
+  SimTime initial_rtt = from_millis(100);
+};
+
+class TfrcLiteController : public CongestionController {
+ public:
+  explicit TfrcLiteController(TfrcLiteConfig config);
+
+  double rate_bps() const override { return rate_; }
+  /// Router feedback only gates slow-start doubling (p <= 0 means idle
+  /// capacity); the rate itself follows the response function.
+  void on_router_feedback(double p, SimTime now) override;
+  void on_loss_interval(double p, SimTime now) override;
+  void set_rtt(SimTime rtt) override;
+  const char* name() const override { return "TFRC-lite"; }
+
+  double smoothed_loss() const { return smoothed_loss_; }
+
+ private:
+  void recompute();
+
+  TfrcLiteConfig cfg_;
+  double rate_;
+  double smoothed_loss_ = 0.0;
+  bool seen_loss_ = false;
+  SimTime rtt_;
+};
+
+}  // namespace pels

@@ -1,0 +1,30 @@
+#include "net/host.h"
+
+#include "net/link.h"
+
+namespace pels {
+
+void Host::register_agent(FlowId flow, Agent* agent) { agents_[flow] = agent; }
+
+void Host::unregister_agent(FlowId flow) { agents_.erase(flow); }
+
+bool Host::send(Packet pkt) {
+  Link* link = routing_.route_to(pkt.dst);
+  if (link == nullptr) {
+    ++undeliverable_;
+    return false;
+  }
+  return link->send(std::move(pkt));
+}
+
+void Host::receive(Packet pkt) {
+  ++received_;
+  auto it = agents_.find(pkt.flow);
+  if (it == agents_.end()) {
+    ++undeliverable_;
+    return;  // no agent for this flow: silently discard, as an OS would
+  }
+  it->second->on_packet(pkt);
+}
+
+}  // namespace pels

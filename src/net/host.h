@@ -1,0 +1,52 @@
+// Host: an end system running protocol agents.
+//
+// A Host dispatches arriving packets to the Agent registered for the packet's
+// flow id, and forwards outgoing packets along its routing table (hosts are
+// usually single-homed: one uplink used for every destination).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/node.h"
+#include "net/routing.h"
+
+namespace pels {
+
+/// Endpoint protocol logic (PELS source/sink, TCP source/sink, ...).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Invoked when a packet addressed to this agent's flow arrives at the
+  /// host where the agent is registered.
+  virtual void on_packet(const Packet& pkt) = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  /// Registers `agent` to receive packets of `flow`. One agent per flow per
+  /// host; re-registering replaces. Agents are not owned.
+  void register_agent(FlowId flow, Agent* agent);
+  void unregister_agent(FlowId flow);
+
+  /// Sends a packet toward pkt.dst via the routing table.
+  /// Returns false if no route exists or the first queue dropped the packet.
+  bool send(Packet pkt);
+
+  RoutingTable& routing() { return routing_; }
+
+  void receive(Packet pkt) override;
+
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t packets_undeliverable() const { return undeliverable_; }
+
+ private:
+  RoutingTable routing_;
+  std::unordered_map<FlowId, Agent*> agents_;
+  std::uint64_t received_ = 0;
+  std::uint64_t undeliverable_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,68 @@
+#include "net/link.h"
+
+#include <cassert>
+
+namespace pels {
+
+Link::Link(Simulation& sim, Node& dst, double bandwidth_bps, SimTime prop_delay,
+           std::unique_ptr<QueueDisc> queue)
+    : sim_(sim),
+      dst_(dst),
+      bandwidth_bps_(bandwidth_bps),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)) {
+  assert(bandwidth_bps_ > 0.0);
+  assert(prop_delay_ >= 0);
+  assert(queue_ != nullptr);
+}
+
+bool Link::send(Packet pkt) {
+  const bool accepted = queue_->enqueue(std::move(pkt));
+  if (accepted && !busy_) try_transmit();
+  return accepted;
+}
+
+void Link::try_transmit() {
+  assert(!busy_);
+  auto pkt = queue_->dequeue();
+  if (!pkt) return;
+  busy_ = true;
+  const SimTime tx = transmission_time(pkt->size_bytes, bandwidth_bps_);
+  busy_time_ += tx;
+  sim_.after(tx, [this, p = std::move(*pkt)]() mutable { on_transmit_done(std::move(p)); });
+}
+
+void Link::on_transmit_done(Packet pkt) {
+  // Serialization finished: the wire is free for the next packet while this
+  // one propagates.
+  busy_ = false;
+  if (corruption_prob_ > 0.0 && corruption_rng_.bernoulli(corruption_prob_)) {
+    // Corrupted on the wire: link time was spent, nothing arrives.
+    ++corrupted_;
+    try_transmit();
+    return;
+  }
+  ++delivered_;
+  bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
+  sim_.after(prop_delay_, [this, p = std::move(pkt)]() mutable { dst_.receive(std::move(p)); });
+  try_transmit();
+}
+
+void Link::set_corruption(double prob, Rng rng) {
+  assert(prob >= 0.0 && prob < 1.0);
+  corruption_prob_ = prob;
+  corruption_rng_ = rng;
+}
+
+void Link::set_bandwidth_bps(double bandwidth_bps) {
+  assert(bandwidth_bps > 0.0);
+  bandwidth_bps_ = bandwidth_bps;
+}
+
+double Link::utilization() const {
+  const SimTime elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+}  // namespace pels

@@ -1,0 +1,83 @@
+// Unidirectional link with an attached queue discipline.
+//
+// A Link models the output interface of a node: packets offered with send()
+// enter the queue discipline (which may drop them); whenever the link is idle
+// and the queue non-empty, the head packet is serialized for
+// size*8/bandwidth, then delivered to the destination node after the
+// propagation delay. Serialization is exclusive (one packet at a time);
+// propagation is pipelined, as on a real wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/queue_disc.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace pels {
+
+class Link {
+ public:
+  /// Creates a link delivering to `dst`. `bandwidth_bps` > 0;
+  /// `prop_delay` >= 0. The link takes ownership of its queue discipline.
+  Link(Simulation& sim, Node& dst, double bandwidth_bps, SimTime prop_delay,
+       std::unique_ptr<QueueDisc> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet for transmission. Returns false if the queue dropped it.
+  bool send(Packet pkt);
+
+  QueueDisc& queue() { return *queue_; }
+  const QueueDisc& queue() const { return *queue_; }
+
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  SimTime prop_delay() const { return prop_delay_; }
+  NodeId dst_id() const { return dst_.id(); }
+
+  /// Changes the link rate; takes effect at the next serialization start
+  /// (the packet currently on the wire finishes at the old rate). Models
+  /// capacity degradation/upgrade for failure-injection experiments; AQM
+  /// disciplines sized from the link rate must be updated separately.
+  void set_bandwidth_bps(double bandwidth_bps);
+
+  /// Enables wireless-style corruption: each transmitted packet is lost on
+  /// the wire with probability `prob`, independent of queue state. This is
+  /// *non-congestive* loss — it happens after the queue, consumes link time,
+  /// and signals nothing to AQMs — the failure mode that confuses loss-based
+  /// congestion control (bench/ablation_wireless).
+  void set_corruption(double prob, Rng rng);
+
+  std::uint64_t packets_corrupted() const { return corrupted_; }
+
+  /// Fraction of elapsed time the link spent transmitting since creation.
+  double utilization() const;
+
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  void try_transmit();
+  void on_transmit_done(Packet pkt);
+
+  Simulation& sim_;
+  Node& dst_;
+  double bandwidth_bps_;
+  SimTime prop_delay_;
+  std::unique_ptr<QueueDisc> queue_;
+  bool busy_ = false;
+  SimTime busy_time_ = 0;  // cumulative serialization time
+  std::uint64_t delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  double corruption_prob_ = 0.0;
+  Rng corruption_rng_{0};
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace pels

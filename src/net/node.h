@@ -1,0 +1,35 @@
+// Node base class: anything a Link can deliver packets to.
+//
+// Concrete nodes are Host (end system running agents) and Router (forwards
+// according to a routing table). Nodes are owned by a Topology and addressed
+// by dense NodeIds.
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+
+namespace pels {
+
+class Link;
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Called by a Link when a packet arrives at this node.
+  virtual void receive(Packet pkt) = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace pels

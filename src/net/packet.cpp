@@ -1,0 +1,21 @@
+#include "net/packet.h"
+
+namespace pels {
+
+const char* color_name(Color c) {
+  switch (c) {
+    case Color::kGreen:
+      return "green";
+    case Color::kYellow:
+      return "yellow";
+    case Color::kRed:
+      return "red";
+    case Color::kInternet:
+      return "internet";
+    case Color::kAck:
+      return "ack";
+  }
+  return "?";
+}
+
+}  // namespace pels

@@ -1,0 +1,116 @@
+// Packet model.
+//
+// One Packet value represents a network packet with the headers the PELS
+// framework needs: flow/sequence identity, priority colour, video frame
+// position, the in-band router feedback label (router id, epoch, loss), and —
+// for acknowledgements — the receiver's echoed feedback and loss statistics.
+// Packets are plain values moved through queues and links.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/time.h"
+
+namespace pels {
+
+/// Node identifier within a Topology. Dense, assigned at creation.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Flow identifier. Dense, assigned by scenarios.
+using FlowId = std::int32_t;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Priority colour of a packet (paper §4.1).
+///
+/// Green carries the base layer (highest priority), yellow the protected
+/// lower part of the FGS layer, red the probing upper part. kInternet marks
+/// non-PELS cross traffic served from the separate Internet queue; kAck marks
+/// acknowledgements.
+enum class Color : std::uint8_t {
+  kGreen = 0,
+  kYellow = 1,
+  kRed = 2,
+  kInternet = 3,
+  kAck = 4,
+};
+
+/// Number of distinct colours (for per-colour counter arrays).
+inline constexpr std::size_t kNumColors = 5;
+
+/// True for the three PELS data colours.
+constexpr bool is_pels_color(Color c) {
+  return c == Color::kGreen || c == Color::kYellow || c == Color::kRed;
+}
+
+/// Human-readable colour name (for traces and tables).
+const char* color_name(Color c);
+
+/// In-band congestion feedback stamped by PELS routers into every passing
+/// packet (paper §5.2): label (router ID, z, p(k)).
+struct FeedbackLabel {
+  std::int32_t router_id = -1;
+  std::uint64_t epoch = 0;  // router-local epoch number z
+  double loss = 0.0;        // p(k) = (R - C) / R; negative when underutilized
+  /// Loss of the FGS (yellow+red) layer specifically: (R - C) / R_fgs. The
+  /// gamma controller consumes this (eq. (4)'s "packet loss in the entire
+  /// FGS layer"); the aggregate `loss` drives MKC. Queue-specific metrics
+  /// per §5.2.
+  double fgs_loss = 0.0;
+  bool valid = false;
+
+  /// Router override rule: replace only if the candidate reports strictly
+  /// larger loss (most-congested-resource, max-min semantics) or if no valid
+  /// label is present yet.
+  void maybe_override(std::int32_t router, std::uint64_t z, double p, double p_fgs) {
+    if (!valid || p > loss) {
+      router_id = router;
+      epoch = z;
+      loss = p;
+      fgs_loss = p_fgs;
+      valid = true;
+    }
+  }
+};
+
+/// Payload of an acknowledgement: echoed router feedback plus cumulative
+/// per-colour receive counters the sender uses to measure FGS-layer loss.
+struct AckInfo {
+  FeedbackLabel echoed;           // feedback label carried by the acked packet
+  std::uint64_t acked_seq = 0;    // sequence number being acknowledged
+  Color data_color = Color::kGreen;  // colour of the acked data packet
+  SimTime data_created_at = 0;    // send timestamp of the acked packet (RTT)
+  std::uint64_t recv_green = 0;   // cumulative packets received per colour
+  std::uint64_t recv_yellow = 0;
+  std::uint64_t recv_red = 0;
+  std::uint64_t recv_fgs_bytes = 0;  // cumulative yellow+red payload bytes
+  std::uint64_t recv_marked = 0;     // cumulative ECN-marked data packets
+};
+
+struct Packet {
+  std::uint64_t uid = 0;       // unique within a simulation (assigned by sources)
+  FlowId flow = kInvalidFlow;
+  std::uint64_t seq = 0;       // per-flow sequence number
+  std::int32_t size_bytes = 0;
+  Color color = Color::kInternet;
+  /// ECN congestion-experienced mark, set by marking AQMs (REM). Echoed by
+  /// sinks in AckInfo::recv_marked so sources can estimate the path price.
+  bool ecn_marked = false;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SimTime created_at = 0;
+
+  // Video position: which frame this packet belongs to and its byte offset
+  // within that frame's transmitted section (-1 when not video data).
+  std::int64_t frame_id = -1;
+  std::int32_t frame_offset = -1;
+
+  FeedbackLabel feedback;       // stamped/updated by PELS routers en route
+  std::optional<AckInfo> ack;   // present only on acknowledgement packets
+
+  bool is_ack() const { return ack.has_value(); }
+};
+
+}  // namespace pels

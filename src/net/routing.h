@@ -1,0 +1,32 @@
+// Static routing table: destination node -> outgoing link.
+//
+// Tables are filled by Topology::compute_routes() (hop-count shortest paths).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/packet.h"
+
+namespace pels {
+
+class Link;
+
+class RoutingTable {
+ public:
+  /// Sets the next-hop link for packets destined to `dst`.
+  void set_route(NodeId dst, Link* link) { routes_[dst] = link; }
+
+  /// Next-hop link for `dst`, or nullptr if unknown.
+  Link* route_to(NodeId dst) const {
+    auto it = routes_.find(dst);
+    return it == routes_.end() ? nullptr : it->second;
+  }
+
+  std::size_t size() const { return routes_.size(); }
+  void clear() { routes_.clear(); }
+
+ private:
+  std::unordered_map<NodeId, Link*> routes_;
+};
+
+}  // namespace pels

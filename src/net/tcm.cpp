@@ -1,0 +1,43 @@
+#include "net/tcm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+SrTcmMarker::SrTcmMarker(TcmConfig config)
+    : cfg_(config),
+      tokens_c_(static_cast<double>(config.cbs_bytes)),
+      tokens_e_(static_cast<double>(config.ebs_bytes)) {
+  assert(cfg_.cir_bps > 0.0);
+  assert(cfg_.cbs_bytes > 0);
+  assert(cfg_.ebs_bytes >= 0);
+}
+
+void SrTcmMarker::refill(SimTime now) {
+  if (now <= last_refill_) return;
+  double budget = cfg_.cir_bps / 8.0 * to_seconds(now - last_refill_);
+  last_refill_ = now;
+  // Committed bucket first; only its overflow feeds the excess bucket.
+  const double c_room = static_cast<double>(cfg_.cbs_bytes) - tokens_c_;
+  const double to_c = std::min(budget, c_room);
+  tokens_c_ += to_c;
+  budget -= to_c;
+  tokens_e_ = std::min(tokens_e_ + budget, static_cast<double>(cfg_.ebs_bytes));
+}
+
+Color SrTcmMarker::mark(std::int32_t size_bytes, SimTime now) {
+  refill(now);
+  const auto size = static_cast<double>(size_bytes);
+  if (tokens_c_ >= size) {
+    tokens_c_ -= size;
+    return Color::kGreen;
+  }
+  if (tokens_e_ >= size) {
+    tokens_e_ -= size;
+    return Color::kYellow;
+  }
+  return Color::kRed;
+}
+
+}  // namespace pels

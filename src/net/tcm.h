@@ -1,0 +1,56 @@
+// Single-rate three-colour marker (srTCM, RFC 2697).
+//
+// The paper's §2.1 discusses DiffServ video schemes (Gurses et al.) built on
+// "three-color markers (TCM) that allow ingress routers to promote packets"
+// and argues they cannot exploit the unequal importance of video packets:
+// TCM colours by *rate conformance* — whatever fits the committed rate is
+// green, the next burst tolerance yellow, the rest red — with no knowledge
+// of which bytes the decoder actually needs. This meter implements srTCM so
+// bench/ablation_tcm can contrast conformance marking against PELS's
+// semantic marking on the identical priority AQM.
+//
+// Two token buckets refill at the committed information rate (CIR): the
+// committed bucket up to CBS, and — only while the committed bucket is full —
+// the excess bucket up to EBS (colour-blind mode).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace pels {
+
+struct TcmConfig {
+  double cir_bps = 1e6;           // committed information rate
+  std::int64_t cbs_bytes = 8000;  // committed burst size
+  std::int64_t ebs_bytes = 8000;  // excess burst size
+};
+
+class SrTcmMarker {
+ public:
+  explicit SrTcmMarker(TcmConfig config);
+
+  /// Meters a packet of `size_bytes` at time `now` and returns its colour:
+  /// green if it conforms to the committed bucket, yellow to the excess
+  /// bucket, red otherwise. Consumes tokens on green/yellow.
+  Color mark(std::int32_t size_bytes, SimTime now);
+
+  double committed_tokens() const { return tokens_c_; }
+  double excess_tokens() const { return tokens_e_; }
+  const TcmConfig& config() const { return cfg_; }
+
+  /// Adjusts the committed rate (rate-tracking markers); buckets keep their
+  /// current fill.
+  void set_cir(double cir_bps) { cfg_.cir_bps = cir_bps; }
+
+ private:
+  void refill(SimTime now);
+
+  TcmConfig cfg_;
+  double tokens_c_;
+  double tokens_e_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,83 @@
+#include "net/topology.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace pels {
+
+Host& Topology::add_host(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(id, std::move(name));
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  return ref;
+}
+
+Router& Topology::add_router(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto router = std::make_unique<Router>(id, std::move(name));
+  Router& ref = *router;
+  nodes_.push_back(std::move(router));
+  return ref;
+}
+
+Link& Topology::add_link(Node& from, Node& to, double bandwidth_bps, SimTime prop_delay,
+                         const QueueFactory& make_queue) {
+  auto link = std::make_unique<Link>(sim_, to, bandwidth_bps, prop_delay,
+                                     make_queue(bandwidth_bps));
+  Link& ref = *link;
+  links_.push_back(std::move(link));
+  edges_.push_back(Edge{from.id(), to.id(), &ref});
+  return ref;
+}
+
+std::pair<Link*, Link*> Topology::connect(Node& a, Node& b, double bandwidth_bps,
+                                          SimTime prop_delay, const QueueFactory& make_queue) {
+  Link& ab = add_link(a, b, bandwidth_bps, prop_delay, make_queue);
+  Link& ba = add_link(b, a, bandwidth_bps, prop_delay, make_queue);
+  return {&ab, &ba};
+}
+
+void Topology::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // Adjacency: outgoing edges per node, in creation order (deterministic).
+  std::vector<std::vector<const Edge*>> out(n);
+  for (const Edge& e : edges_) out[static_cast<std::size_t>(e.from)].push_back(&e);
+
+  // One BFS per destination on the reversed graph would be asymptotically
+  // better, but topologies here are tiny; BFS per source is clearer.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<int> dist(n, std::numeric_limits<int>::max());
+    std::vector<Link*> first_hop(n, nullptr);
+    std::deque<NodeId> frontier;
+    dist[src] = 0;
+    frontier.push_back(static_cast<NodeId>(src));
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const Edge* e : out[static_cast<std::size_t>(u)]) {
+        const auto v = static_cast<std::size_t>(e->to);
+        if (dist[v] != std::numeric_limits<int>::max()) continue;
+        dist[v] = dist[static_cast<std::size_t>(u)] + 1;
+        // The first hop toward v is the first hop toward u, unless u is the
+        // source itself, in which case it is this edge.
+        first_hop[v] = (u == static_cast<NodeId>(src)) ? e->link
+                                                       : first_hop[static_cast<std::size_t>(u)];
+        frontier.push_back(e->to);
+      }
+    }
+    Node& s = *nodes_[src];
+    RoutingTable* table = nullptr;
+    if (auto* h = dynamic_cast<Host*>(&s)) table = &h->routing();
+    if (auto* r = dynamic_cast<Router*>(&s)) table = &r->routing();
+    assert(table != nullptr && "unknown node kind");
+    table->clear();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || first_hop[dst] == nullptr) continue;
+      table->set_route(static_cast<NodeId>(dst), first_hop[dst]);
+    }
+  }
+}
+
+}  // namespace pels

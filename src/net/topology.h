@@ -1,0 +1,68 @@
+// Topology: owns nodes and links, wires them together, and computes static
+// hop-count shortest-path routes.
+//
+// Queue disciplines are supplied per-link through factories so that generic
+// code (tests, scenario builders) can attach DropTail edges and a PELS/RED
+// bottleneck without this module depending on concrete disciplines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "sim/simulation.h"
+
+namespace pels {
+
+/// Builds the queue discipline for one unidirectional link; receives the
+/// link bandwidth so capacity-aware disciplines (PELS feedback) can size
+/// themselves.
+using QueueFactory = std::function<std::unique_ptr<QueueDisc>(double bandwidth_bps)>;
+
+class Topology {
+ public:
+  explicit Topology(Simulation& sim) : sim_(sim) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  Host& add_host(std::string name);
+  Router& add_router(std::string name);
+
+  /// Adds a unidirectional link from `from` to `to`. Returns the link.
+  Link& add_link(Node& from, Node& to, double bandwidth_bps, SimTime prop_delay,
+                 const QueueFactory& make_queue);
+
+  /// Adds a pair of symmetric unidirectional links between `a` and `b`.
+  /// Returns {a->b, b->a}.
+  std::pair<Link*, Link*> connect(Node& a, Node& b, double bandwidth_bps, SimTime prop_delay,
+                                  const QueueFactory& make_queue);
+
+  /// Fills every node's routing table with hop-count shortest paths (BFS).
+  /// Ties are broken by link creation order, deterministically. Call after
+  /// the graph is complete; may be called again if links are added later.
+  void compute_routes();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    Link* link;
+  };
+
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace pels

@@ -1,0 +1,62 @@
+#include "net/trace.h"
+
+#include <cstdio>
+
+namespace pels {
+
+char trace_event_code(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kEnqueue:
+      return '+';
+    case TraceEvent::kDequeue:
+      return '-';
+    case TraceEvent::kDrop:
+      return 'd';
+    case TraceEvent::kDeliver:
+      return 'r';
+  }
+  return '?';
+}
+
+std::string format_trace_record(const TraceRecord& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%c %.6f %s flow %d seq %llu %s %dB frame %lld",
+                trace_event_code(rec.event), to_seconds(rec.t), rec.location.c_str(),
+                rec.flow, static_cast<unsigned long long>(rec.seq), color_name(rec.color),
+                rec.size_bytes, static_cast<long long>(rec.frame_id));
+  return buf;
+}
+
+void PacketTracer::set_event_enabled(TraceEvent e, bool enabled) {
+  event_enabled_[static_cast<std::size_t>(e)] = enabled;
+}
+
+bool PacketTracer::accepts(TraceEvent event, const Packet& pkt) const {
+  if (!event_enabled_[static_cast<std::size_t>(event)]) return false;
+  if (flow_filter_ && pkt.flow != *flow_filter_) return false;
+  if (color_filter_ && pkt.color != *color_filter_) return false;
+  return true;
+}
+
+void PacketTracer::record(SimTime t, TraceEvent event, const std::string& location,
+                          const Packet& pkt) {
+  if (!accepts(event, pkt)) return;
+  ++total_seen_;
+  ++counts_[static_cast<std::size_t>(event)][static_cast<std::size_t>(pkt.color)];
+  if (max_records_ != 0 && records_.size() >= max_records_) return;
+  records_.push_back(TraceRecord{t, event, location, pkt.uid, pkt.flow, pkt.seq,
+                                 pkt.color, pkt.size_bytes, pkt.frame_id});
+}
+
+void PacketTracer::write_text(std::ostream& os) const {
+  for (const auto& rec : records_) os << format_trace_record(rec) << '\n';
+}
+
+void PacketTracer::clear() {
+  records_.clear();
+  total_seen_ = 0;
+  for (auto& per_event : counts_)
+    for (auto& c : per_event) c = 0;
+}
+
+}  // namespace pels

@@ -1,0 +1,96 @@
+// Packet-event tracing, in the spirit of ns-2 trace files.
+//
+// A PacketTracer collects timestamped records of queue events (enqueue,
+// dequeue, drop) and endpoint deliveries, with optional flow/colour/event
+// filters so long simulations do not accumulate gigabytes of irrelevant
+// records. Records can be rendered as ns-2-like text lines:
+//
+//   +  1.234567 bottleneck flow 3 seq 1201 yellow 500B
+//   d  1.234601 bottleneck flow 7 seq 881 red 500B
+//
+// Attach a tracer to any queue with TracingQueue (src/queue/tracing_queue.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace pels {
+
+enum class TraceEvent : std::uint8_t {
+  kEnqueue = 0,
+  kDequeue = 1,
+  kDrop = 2,
+  kDeliver = 3,
+};
+
+/// Single-character event code used in text traces ('+', '-', 'd', 'r').
+char trace_event_code(TraceEvent e);
+
+struct TraceRecord {
+  SimTime t = 0;
+  TraceEvent event = TraceEvent::kEnqueue;
+  std::string location;  // queue/node label
+  std::uint64_t uid = 0;
+  FlowId flow = kInvalidFlow;
+  std::uint64_t seq = 0;
+  Color color = Color::kInternet;
+  std::int32_t size_bytes = 0;
+  std::int64_t frame_id = -1;
+};
+
+/// Renders one record as an ns-2-like text line (no trailing newline).
+std::string format_trace_record(const TraceRecord& rec);
+
+class PacketTracer {
+ public:
+  /// Restricts recording to one flow (nullopt = all flows).
+  void set_flow_filter(std::optional<FlowId> flow) { flow_filter_ = flow; }
+  /// Restricts recording to one colour (nullopt = all colours).
+  void set_color_filter(std::optional<Color> color) { color_filter_ = color; }
+  /// Enables/disables recording of an event kind (all enabled by default).
+  void set_event_enabled(TraceEvent e, bool enabled);
+
+  /// Caps the number of stored records; once reached, new records are
+  /// counted but not stored (0 = unlimited).
+  void set_max_records(std::size_t max) { max_records_ = max; }
+
+  /// Records an event for `pkt` at simulated time `t`.
+  void record(SimTime t, TraceEvent event, const std::string& location, const Packet& pkt);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::uint64_t total_seen() const { return total_seen_; }
+  std::uint64_t dropped_records() const {
+    return total_seen_ - static_cast<std::uint64_t>(records_.size());
+  }
+
+  /// Event counts per (event, colour), over *all* seen records (filters
+  /// applied, storage cap not).
+  std::uint64_t count(TraceEvent e, Color c) const {
+    return counts_[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+  }
+
+  /// Writes all stored records as text lines to `os`.
+  void write_text(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  bool accepts(TraceEvent event, const Packet& pkt) const;
+
+  std::optional<FlowId> flow_filter_;
+  std::optional<Color> color_filter_;
+  bool event_enabled_[4] = {true, true, true, true};
+  std::size_t max_records_ = 0;
+  std::vector<TraceRecord> records_;
+  std::uint64_t total_seen_ = 0;
+  std::uint64_t counts_[4][kNumColors] = {};
+};
+
+}  // namespace pels

@@ -1,0 +1,88 @@
+// PELS sink agent: receiver half of a PELS (or best-effort comparator) flow.
+//
+// For every arriving data packet the sink
+//  * records per-colour counters and one-way delay samples (Fig. 8/9 data);
+//  * accumulates the packet into its frame's reception record;
+//  * returns an ACK echoing the packet's feedback label, its send timestamp
+//    (RTT), and cumulative receive counters (the sender's loss measurement).
+//
+// Frames are finalized once a few newer frames have been seen (packets of a
+// frame cannot be in flight anymore by then — red-queue delays are bounded by
+// the red band size) and scored through the FGS decoder + R-D model.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/host.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "video/decoder.h"
+#include "video/fgs.h"
+#include "video/playout.h"
+
+namespace pels {
+
+class PelsSink : public Agent {
+ public:
+  /// `rd` is borrowed and must outlive the sink.
+  PelsSink(Simulation& sim, Host& host, FlowId flow, NodeId src_node, VideoConfig video,
+           const RdModel& rd, std::int32_t ack_size_bytes = 40);
+  ~PelsSink() override;
+
+  void on_packet(const Packet& pkt) override;
+
+  /// Decodes and scores all frames still buffered (call at end of run).
+  void finalize_all();
+
+  // --- observable state -------------------------------------------------
+  std::uint64_t packets_received(Color c) const { return recv_[static_cast<std::size_t>(c)]; }
+  std::uint64_t fgs_bytes_received() const { return recv_fgs_bytes_; }
+
+  /// One-way delay samples per colour, seconds.
+  const SampleSet& delay_samples(Color c) const { return delays_[static_cast<std::size_t>(c)]; }
+  /// (time, delay-seconds) series per colour for trajectory plots.
+  const TimeSeries& delay_series(Color c) const {
+    return delay_series_[static_cast<std::size_t>(c)];
+  }
+
+  /// Qualities of finalized frames in decode order (frames whose packets
+  /// were all lost do not appear; see quality_for_frames).
+  const std::vector<FrameQuality>& frame_qualities() const { return qualities_; }
+
+  /// Quality for every frame id in [first, last): missing frames (nothing
+  /// arrived) score as base-layer-lost concealment.
+  std::vector<FrameQuality> quality_for_frames(std::int64_t first, std::int64_t last) const;
+
+  /// Mean utility over finalized frames that received any FGS data.
+  double mean_utility() const;
+
+  /// Frame arrival records for playout-deadline evaluation (video/playout.h):
+  /// one entry per finalized frame, in decode order.
+  std::vector<FrameArrival> frame_arrivals() const;
+
+ private:
+  void send_ack(const Packet& data);
+  void finalize_frame(std::int64_t frame_id, FrameReception rx);
+
+  Simulation& sim_;
+  Host& host_;
+  FlowId flow_;
+  NodeId src_node_;
+  VideoConfig video_;
+  FgsDecoder decoder_;
+  std::int32_t ack_size_bytes_;
+
+  std::uint64_t recv_[kNumColors] = {};
+  std::uint64_t recv_fgs_bytes_ = 0;
+  std::uint64_t recv_marked_ = 0;
+  SampleSet delays_[kNumColors];
+  TimeSeries delay_series_[kNumColors];
+
+  std::map<std::int64_t, FrameReception> open_frames_;  // keyed by unwrapped id
+  std::int64_t max_frame_seen_ = -1;
+  std::int64_t last_finalized_ = -1;
+  std::vector<FrameQuality> qualities_;
+};
+
+}  // namespace pels

@@ -1,0 +1,158 @@
+// PELS source agent: the sender half of the paper's contribution (§4, §5).
+//
+// Combines, per flow:
+//  * a frame clock generating FGS video frames at the configured rate;
+//  * a pluggable congestion controller (MKC by default) driven by
+//    epoch-filtered router feedback from ACK labels (§5.2 freshness rule);
+//  * the gamma controller (eq. (4)) partitioning each frame's FGS prefix into
+//    yellow and red segments from receiver-measured FGS loss;
+//  * packet pacing: each frame's packets are spread evenly over the frame
+//    period, so the instantaneous rate matches the controller output.
+//
+// With `partition = false` the source becomes the paper's best-effort
+// comparator: same congestion control, same video, but the whole FGS prefix
+// is sent unpartitioned (yellow) and gamma stays out of the loop.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/controller.h"
+#include "net/host.h"
+#include "net/tcm.h"
+#include "sim/simulation.h"
+#include "sim/timer.h"
+#include "util/stats.h"
+#include "video/fgs.h"
+#include "video/frame_size.h"
+#include "video/gamma_controller.h"
+#include "video/rd_allocator.h"
+
+namespace pels {
+
+struct PelsSourceConfig {
+  VideoConfig video;
+  GammaConfig gamma;
+  /// Control interval for loss measurement + gamma updates (interval k of
+  /// eq. (4)); independent of the router's feedback interval T.
+  SimTime control_interval = from_millis(200);
+  bool partition = true;  // false = best-effort comparator colouring
+  /// DiffServ-style srTCM marking (§2.1 comparator): when set, outgoing
+  /// packets are re-coloured by rate conformance instead of semantics —
+  /// the meter has no idea which bytes the decoder needs. CIR defaults to
+  /// tracking ~3/4 of the sending rate when cir_bps <= 0.
+  bool tcm_marking = false;
+  TcmConfig tcm;
+  /// Per-frame coded FGS size (VBR). Null = constant video.max_fgs_bytes().
+  std::shared_ptr<const FrameSizeModel> frame_sizes;
+  /// R-D-aware constant-quality scaling (the paper's [5] extension): when
+  /// set, each frame's FGS budget comes from a receding-horizon max-min PSNR
+  /// allocation over `rd_window_frames` upcoming frames instead of a flat
+  /// rate/fps split. The model is borrowed and must outlive the source.
+  const RdModel* rd_scaling = nullptr;
+  int rd_window_frames = 8;
+  double srtt_gain = 0.125;
+  std::int32_t ack_size_bytes = 40;
+  /// Minimum FGS bytes per measurement window for a loss sample to count.
+  std::int64_t min_measured_bytes = 2000;
+};
+
+class PelsSource : public Agent {
+ public:
+  PelsSource(Simulation& sim, Host& host, FlowId flow, NodeId dst,
+             std::unique_ptr<CongestionController> controller, PelsSourceConfig config);
+  ~PelsSource() override;
+
+  /// Starts the frame and control clocks at sim time `at`.
+  void start(SimTime at);
+  void stop();
+
+  void on_packet(const Packet& pkt) override;
+
+  // --- observable state -------------------------------------------------
+  double rate_bps() const { return controller_->rate_bps(); }
+  double gamma() const { return gamma_.gamma(); }
+  double measured_loss() const { return last_measured_loss_; }
+  /// Router id of the most recently consumed feedback label (-1 before any).
+  /// Noisy on multi-bottleneck paths (per-epoch loss estimates jitter, so the
+  /// quieter router's label occasionally wins the max-min override); prefer
+  /// governing_router() for a stable identification.
+  std::int32_t last_feedback_router() const { return last_feedback_router_; }
+
+  /// Number of feedback labels consumed from `router` (fresh epochs only).
+  std::uint64_t feedback_consumed(std::int32_t router) const;
+
+  /// Router whose labels this flow consumed most often — the bottleneck that
+  /// governs the flow in the max-min sense of §5.2. -1 before any feedback.
+  std::int32_t governing_router() const;
+  SimTime srtt() const { return srtt_; }
+  FlowId flow() const { return flow_; }
+  CongestionController& controller() { return *controller_; }
+
+  std::uint64_t packets_sent(Color c) const { return sent_[static_cast<std::size_t>(c)]; }
+  std::uint64_t fgs_bytes_sent() const { return sent_fgs_bytes_; }
+  std::int64_t frames_sent() const { return next_frame_; }
+
+  /// Trajectories sampled at every control interval.
+  const TimeSeries& rate_series() const { return rate_series_; }
+  const TimeSeries& gamma_series() const { return gamma_series_; }
+  const TimeSeries& loss_series() const { return loss_series_; }
+
+  const PelsSourceConfig& config() const { return cfg_; }
+
+ private:
+  void on_frame_clock();
+  void on_control_clock();
+  void pace_next();
+  void transmit(Packet pkt);
+  void handle_ack(const AckInfo& ack);
+  /// Cumulative FGS bytes sent no later than `t` (from the send history).
+  std::uint64_t sent_fgs_bytes_at(SimTime t) const;
+
+  Simulation& sim_;
+  Host& host_;
+  FlowId flow_;
+  NodeId dst_;
+  std::unique_ptr<CongestionController> controller_;
+  PelsSourceConfig cfg_;
+  GammaController gamma_;
+
+  PeriodicTimer frame_timer_;
+  PeriodicTimer control_timer_;
+  // Sender pacing: frames enqueue packets, the pacer drains them at the
+  // controller rate. With constant scaling each frame exactly fills its
+  // period; with R-D scaling large frames borrow time from small ones
+  // instead of bursting past the rate within their own period.
+  std::deque<Packet> send_buffer_;
+  EventId pace_event_ = 0;
+  double paced_rate_ = 0.0;  // EWMA of the controller rate used for spacing
+  std::unique_ptr<SrTcmMarker> tcm_marker_;  // set iff cfg_.tcm_marking
+
+  std::int64_t next_frame_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t sent_[kNumColors] = {};
+  std::uint64_t sent_fgs_bytes_ = 0;
+  std::deque<std::pair<SimTime, std::uint64_t>> send_history_;  // (t, cum fgs bytes)
+
+  std::unordered_map<std::int32_t, std::uint64_t> epoch_seen_;  // per router
+  std::unordered_map<std::int32_t, std::uint64_t> consumed_;    // labels per router
+  double latest_router_fgs_loss_ = 0.0;  // from the freshest consumed label
+  std::int32_t last_feedback_router_ = -1;
+  std::uint64_t recv_marked_ = 0;   // cumulative ECN marks from ACKs
+  std::uint64_t recv_total_ = 0;    // cumulative data packets from ACKs
+  std::uint64_t mark_anchor_ = 0;   // snapshots at the last control tick
+  std::uint64_t total_anchor_ = 0;
+  std::uint64_t recv_fgs_bytes_ = 0;  // latest cumulative from ACKs
+  std::uint64_t meas_sent_anchor_ = 0;
+  std::uint64_t meas_recv_anchor_ = 0;
+  double last_measured_loss_ = 0.0;
+  SimTime srtt_ = 0;
+
+  TimeSeries rate_series_;
+  TimeSeries gamma_series_;
+  TimeSeries loss_series_;
+};
+
+}  // namespace pels

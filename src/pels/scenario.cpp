@@ -1,0 +1,176 @@
+#include "pels/scenario.h"
+
+#include <cassert>
+
+#include "queue/bernoulli.h"
+#include "queue/drop_tail.h"
+
+namespace pels {
+
+std::vector<SimTime> staircase_starts(int flows, int per_step, SimTime step) {
+  assert(flows > 0 && per_step > 0);
+  std::vector<SimTime> starts;
+  starts.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) starts.push_back((i / per_step) * step);
+  return starts;
+}
+
+DumbbellScenario::DumbbellScenario(ScenarioConfig config)
+    : cfg_(std::move(config)), sim_(cfg_.seed), topo_(sim_), rd_(cfg_.rd) {
+  assert(cfg_.pels_flows > 0);
+  assert(cfg_.tcp_flows >= 0);
+
+  Router& r1 = topo_.add_router("R1");
+  Router& r2 = topo_.add_router("R2");
+
+  const QueueFactory edge_queue = [this](double) {
+    return std::make_unique<DropTailQueue>(cfg_.edge_queue_limit);
+  };
+
+  // Bottleneck R1 -> R2 carries the AQM under study; the reverse direction
+  // (ACKs) is a plain generously-sized FIFO.
+  const QueueFactory bottleneck_factory = [this](double bw) -> std::unique_ptr<QueueDisc> {
+    switch (cfg_.bottleneck) {
+      case BottleneckKind::kPels: {
+        PelsQueueConfig qc = cfg_.pels_queue;
+        qc.link_bandwidth_bps = bw;
+        auto q = std::make_unique<PelsQueue>(sim_.scheduler(), qc);
+        pels_queue_ = q.get();
+        return q;
+      }
+      case BottleneckKind::kRem: {
+        RemQueueConfig qc = cfg_.rem_queue;
+        qc.link_bandwidth_bps = bw;
+        auto q = std::make_unique<RemQueue>(sim_.scheduler(), sim_.make_rng(0x4E4), qc);
+        rem_queue_ = q.get();
+        return q;
+      }
+      case BottleneckKind::kBestEffort:
+        break;
+    }
+    BestEffortQueueConfig qc = cfg_.best_effort_queue;
+    qc.link_bandwidth_bps = bw;
+    auto q = std::make_unique<BestEffortQueue>(sim_.scheduler(), sim_.make_rng(0xBE), qc);
+    best_effort_queue_ = q.get();
+    return q;
+  };
+  Link& forward =
+      topo_.add_link(r1, r2, cfg_.bottleneck_bps, cfg_.bottleneck_delay, bottleneck_factory);
+  // Reverse direction carries ACKs; optionally lossy for robustness tests.
+  const QueueFactory reverse_queue = [this](double) -> std::unique_ptr<QueueDisc> {
+    if (cfg_.ack_loss > 0.0) {
+      return std::make_unique<BernoulliDropQueue>(sim_.make_rng(0xACC), cfg_.ack_loss,
+                                                  cfg_.edge_queue_limit);
+    }
+    return std::make_unique<DropTailQueue>(cfg_.edge_queue_limit);
+  };
+  topo_.add_link(r2, r1, cfg_.bottleneck_bps, cfg_.bottleneck_delay, reverse_queue);
+  bottleneck_ = &forward.queue();
+  bottleneck_link_ = &forward;
+  if (cfg_.wireless_loss > 0.0) {
+    forward.set_corruption(cfg_.wireless_loss, sim_.make_rng(0xA17));
+  }
+
+  // The comparator source sends the whole FGS prefix unpartitioned.
+  PelsSourceConfig src_cfg = cfg_.source;
+  src_cfg.partition = cfg_.bottleneck == BottleneckKind::kPels;
+  if (cfg_.rd_aware_scaling) src_cfg.rd_scaling = &rd_;
+
+  for (int i = 0; i < cfg_.pels_flows; ++i) {
+    Host& src_host = topo_.add_host("src" + std::to_string(i));
+    Host& dst_host = topo_.add_host("dst" + std::to_string(i));
+    topo_.connect(src_host, r1, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+    topo_.connect(r2, dst_host, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+
+    std::unique_ptr<CongestionController> controller;
+    if (cfg_.make_controller) {
+      controller = cfg_.make_controller(i);
+    } else if (cfg_.bottleneck == BottleneckKind::kRem) {
+      // The REM bottleneck signals through marks, not feedback labels.
+      controller = std::make_unique<RemController>(cfg_.rem);
+    } else {
+      controller = std::make_unique<MkcController>(cfg_.mkc);
+    }
+    const auto flow = static_cast<FlowId>(i);
+    sinks_.push_back(std::make_unique<PelsSink>(sim_, dst_host, flow, src_host.id(),
+                                                src_cfg.video, rd_,
+                                                src_cfg.ack_size_bytes));
+    sources_.push_back(std::make_unique<PelsSource>(sim_, src_host, flow, dst_host.id(),
+                                                    std::move(controller), src_cfg));
+  }
+
+  for (int i = 0; i < cfg_.tcp_flows; ++i) {
+    Host& src_host = topo_.add_host("tcp" + std::to_string(i));
+    Host& dst_host = topo_.add_host("tsink" + std::to_string(i));
+    topo_.connect(src_host, r1, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+    topo_.connect(r2, dst_host, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+    const auto flow = static_cast<FlowId>(1000 + i);
+    tcp_sinks_.push_back(std::make_unique<TcpSink>(dst_host, flow, src_host.id()));
+    tcp_sources_.push_back(std::make_unique<TcpLikeSource>(sim_, src_host, flow, dst_host.id()));
+  }
+
+  topo_.compute_routes();
+
+  for (int i = 0; i < cfg_.pels_flows; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const SimTime at = idx < cfg_.start_times.size() ? cfg_.start_times[idx] : 0;
+    // Offset each flow's frame clock by a sub-frame phase. Real flows are
+    // never frame-synchronized; without this, every flow's red packets (the
+    // frame suffix) land at the bottleneck in the same burst each period,
+    // alternately overflowing and starving the shallow red band.
+    const SimTime phase =
+        (static_cast<SimTime>(i) * src_cfg.video.frame_period()) /
+        std::max(1, cfg_.pels_flows);
+    sources_[idx]->start(at + phase);
+  }
+  for (auto& tcp : tcp_sources_) tcp->start(0);
+
+  sampler_ = std::make_unique<PeriodicTimer>(sim_.scheduler(), cfg_.sample_interval,
+                                             [this] { sample_losses(); });
+  sampler_->start();
+}
+
+QueueDisc& DumbbellScenario::bottleneck_queue() { return *bottleneck_; }
+
+double DumbbellScenario::video_capacity_bps() const {
+  if (pels_queue_ != nullptr) return pels_queue_->pels_capacity_bps();
+  if (rem_queue_ != nullptr) return rem_queue_->video_capacity_bps();
+  return best_effort_queue_->video_capacity_bps();
+}
+
+void DumbbellScenario::set_bottleneck_bandwidth(double bandwidth_bps) {
+  bottleneck_link_->set_bandwidth_bps(bandwidth_bps);
+  if (pels_queue_ != nullptr) pels_queue_->set_link_bandwidth(bandwidth_bps);
+  // The best-effort comparator keeps its construction-time capacity: it
+  // exists only for fixed-loss PSNR comparisons.
+}
+
+void DumbbellScenario::run_until(SimTime t) { sim_.run_until(t); }
+
+void DumbbellScenario::finish() {
+  for (auto& sink : sinks_) sink->finalize_all();
+}
+
+void DumbbellScenario::sample_losses() {
+  const ColorCounters& now = bottleneck_->counters();
+  std::uint64_t fgs_arr = 0;
+  std::uint64_t fgs_drop = 0;
+  for (std::size_t c = 0; c < kNumColors; ++c) {
+    const std::uint64_t arr = now.arrivals[c] - last_counters_.arrivals[c];
+    const std::uint64_t drop = now.drops[c] - last_counters_.drops[c];
+    const double rate =
+        arr == 0 ? 0.0 : static_cast<double>(drop) / static_cast<double>(arr);
+    loss_series_[c].add(sim_.now(), rate);
+    const auto color = static_cast<Color>(c);
+    if (color == Color::kYellow || color == Color::kRed) {
+      fgs_arr += arr;
+      fgs_drop += drop;
+    }
+  }
+  fgs_loss_series_.add(sim_.now(), fgs_arr == 0 ? 0.0
+                                                : static_cast<double>(fgs_drop) /
+                                                      static_cast<double>(fgs_arr));
+  last_counters_ = now;
+}
+
+}  // namespace pels

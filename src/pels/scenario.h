@@ -1,0 +1,147 @@
+// Canned simulation scenario: the paper's bar-bell topology (Fig. 6).
+//
+//   src_0..N  --10mb/s-->  R1  --4mb/s (PELS AQM)-->  R2  --10mb/s--> dst_0..N
+//   tcp_0..M  --10mb/s-->  R1                         R2  --10mb/s--> tsink_0..M
+//
+// N PELS video flows and M greedy TCP cross-traffic flows share the
+// bottleneck; WRR gives the Internet queue its configured share (50% in
+// §6.1). The scenario wires topology, agents, and periodic samplers for the
+// per-colour loss rates at the bottleneck, and exposes everything the bench
+// harnesses need.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cc/mkc.h"
+#include "cc/rem_controller.h"
+#include "cc/tcp_like.h"
+#include "net/topology.h"
+#include "queue/best_effort.h"
+#include "queue/pels_queue.h"
+#include "queue/rem.h"
+#include "pels/pels_sink.h"
+#include "pels/pels_source.h"
+#include "sim/timer.h"
+#include "video/rd_model.h"
+
+namespace pels {
+
+enum class BottleneckKind {
+  kPels,        // priority AQM (the paper's contribution)
+  kBestEffort,  // colour-blind random-drop comparator (§6.5)
+  kRem          // marking-based REM comparator (§2.2 ref [20])
+};
+
+struct ScenarioConfig {
+  BottleneckKind bottleneck = BottleneckKind::kPels;
+  int pels_flows = 2;
+  /// Start time per flow; missing entries start at 0.
+  std::vector<SimTime> start_times;
+  int tcp_flows = 1;
+
+  double bottleneck_bps = 4e6;  // §6.1
+  double edge_bps = 10e6;
+  SimTime edge_delay = from_millis(2);
+  SimTime bottleneck_delay = from_millis(10);
+  std::size_t edge_queue_limit = 1000;  // packets; edges should not drop
+
+  PelsQueueConfig pels_queue;            // link_bandwidth_bps is overwritten
+  BestEffortQueueConfig best_effort_queue;  // ditto
+  RemQueueConfig rem_queue;                 // ditto
+  MkcConfig mkc;
+  RemControllerConfig rem;  // used when bottleneck == kRem (unless overridden)
+  PelsSourceConfig source;  // `partition` is forced by `bottleneck` kind
+  RdModelConfig rd;
+  /// Constant-quality R-D scaling (paper's [5] extension): sources allocate
+  /// FGS budget across a lookahead window by max-min PSNR.
+  bool rd_aware_scaling = false;
+
+  /// Random drop probability on the reverse (ACK) bottleneck direction, for
+  /// feedback-robustness experiments. 0 = clean reverse path.
+  double ack_loss = 0.0;
+
+  /// Wireless-style corruption probability on the forward bottleneck wire:
+  /// non-congestive loss that happens *after* the AQM and signals nothing to
+  /// it. Exercises the loss-vs-congestion confusion (bench/ablation_wireless).
+  double wireless_loss = 0.0;
+
+  /// Optional custom controller per flow (CC-independence ablation);
+  /// default builds MkcController(mkc).
+  std::function<std::unique_ptr<CongestionController>(int flow_index)> make_controller;
+
+  SimTime sample_interval = kSecond;  // per-colour loss sampling
+  std::uint64_t seed = 1;
+};
+
+/// Convenience: start times 0, t, 2t, ... for a staircase join pattern
+/// (two flows per step is Fig. 8/9's "two new flows every 50 seconds").
+std::vector<SimTime> staircase_starts(int flows, int per_step, SimTime step);
+
+class DumbbellScenario {
+ public:
+  explicit DumbbellScenario(ScenarioConfig config);
+
+  /// Advances the simulation to absolute time `t`.
+  void run_until(SimTime t);
+  /// Finalizes all sinks' buffered frames (call once, after the last run).
+  void finish();
+
+  Simulation& sim() { return sim_; }
+  int pels_flow_count() const { return cfg_.pels_flows; }
+  PelsSource& source(int i) { return *sources_.at(static_cast<std::size_t>(i)); }
+  PelsSink& sink(int i) { return *sinks_.at(static_cast<std::size_t>(i)); }
+  TcpLikeSource& tcp_source(int i) { return *tcp_sources_.at(static_cast<std::size_t>(i)); }
+
+  /// Bottleneck queue views (exactly one is non-null, per `bottleneck`).
+  PelsQueue* pels_queue() { return pels_queue_; }
+  BestEffortQueue* best_effort_queue() { return best_effort_queue_; }
+  RemQueue* rem_queue() { return rem_queue_; }
+  QueueDisc& bottleneck_queue();
+
+  /// Capacity share of the video/PELS class at the bottleneck, bits/s.
+  double video_capacity_bps() const;
+
+  /// Degrades/upgrades the forward bottleneck link mid-run (failure
+  /// injection): adjusts both the wire rate and the AQM's capacity share.
+  void set_bottleneck_bandwidth(double bandwidth_bps);
+
+  /// Loss rate of `c`-coloured packets at the bottleneck per sample interval
+  /// (drops/arrivals within the interval; 0 when no arrivals).
+  const TimeSeries& loss_series(Color c) const {
+    return loss_series_[static_cast<std::size_t>(c)];
+  }
+
+  /// Aggregate FGS (yellow+red) loss rate per sample interval.
+  const TimeSeries& fgs_loss_series() const { return fgs_loss_series_; }
+
+  const RdModel& rd_model() const { return rd_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+ private:
+  void sample_losses();
+
+  ScenarioConfig cfg_;
+  Simulation sim_;
+  Topology topo_;
+  RdModel rd_;
+
+  PelsQueue* pels_queue_ = nullptr;
+  BestEffortQueue* best_effort_queue_ = nullptr;
+  RemQueue* rem_queue_ = nullptr;
+  QueueDisc* bottleneck_ = nullptr;
+  Link* bottleneck_link_ = nullptr;
+
+  std::vector<std::unique_ptr<PelsSource>> sources_;
+  std::vector<std::unique_ptr<PelsSink>> sinks_;
+  std::vector<std::unique_ptr<TcpLikeSource>> tcp_sources_;
+  std::vector<std::unique_ptr<TcpSink>> tcp_sinks_;
+
+  std::unique_ptr<PeriodicTimer> sampler_;
+  ColorCounters last_counters_;
+  TimeSeries loss_series_[kNumColors];
+  TimeSeries fgs_loss_series_;
+};
+
+}  // namespace pels

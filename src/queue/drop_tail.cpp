@@ -1,0 +1,35 @@
+#include "queue/drop_tail.h"
+
+#include <cassert>
+
+namespace pels {
+
+DropTailQueue::DropTailQueue(std::size_t limit_packets, std::int64_t limit_bytes)
+    : limit_packets_(limit_packets), limit_bytes_(limit_bytes) {
+  assert(limit_packets_ > 0);
+  assert(limit_bytes_ > 0);
+}
+
+bool DropTailQueue::enqueue(Packet pkt) {
+  counters().count_arrival(pkt);
+  if (fifo_.size() + 1 > limit_packets_ || bytes_ + pkt.size_bytes > limit_bytes_) {
+    note_drop(pkt);
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  fifo_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Packet pkt = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  counters().count_departure(pkt);
+  return pkt;
+}
+
+const Packet* DropTailQueue::peek() const { return fifo_.empty() ? nullptr : &fifo_.front(); }
+
+}  // namespace pels

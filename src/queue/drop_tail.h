@@ -1,0 +1,37 @@
+// DropTail: bounded FIFO, the baseline best-effort queue.
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "net/queue_disc.h"
+
+namespace pels {
+
+class DropTailQueue : public QueueDisc {
+ public:
+  /// Limits are inclusive; a packet is dropped if admitting it would exceed
+  /// either the packet or the byte limit. Pass kUnlimited to disable one.
+  static constexpr std::size_t kUnlimitedPackets = std::numeric_limits<std::size_t>::max();
+  static constexpr std::int64_t kUnlimitedBytes = std::numeric_limits<std::int64_t>::max();
+
+  explicit DropTailQueue(std::size_t limit_packets,
+                         std::int64_t limit_bytes = kUnlimitedBytes);
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+  const Packet* peek() const override;
+  std::size_t packet_count() const override { return fifo_.size(); }
+  std::int64_t byte_count() const override { return bytes_; }
+
+  std::size_t limit_packets() const { return limit_packets_; }
+  std::int64_t limit_bytes() const { return limit_bytes_; }
+
+ private:
+  std::size_t limit_packets_;
+  std::int64_t limit_bytes_;
+  std::deque<Packet> fifo_;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,110 @@
+#include "queue/pels_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+std::size_t pels_wrr_classifier(const Packet& pkt) {
+  return pkt.color == Color::kInternet ? 1 : 0;
+}
+
+PelsQueue::PelsQueue(Scheduler& sched, PelsQueueConfig config)
+    : cfg_(config),
+      pels_capacity_bps_(cfg_.link_bandwidth_bps * cfg_.pels_weight /
+                         (cfg_.pels_weight + cfg_.internet_weight)),
+      meter_(cfg_.router_id, pels_capacity_bps_, cfg_.feedback_interval, cfg_.loss_floor,
+             cfg_.loss_ceiling, cfg_.feedback_rate_ewma),
+      feedback_timer_(sched, cfg_.feedback_interval, [this] { on_feedback_interval(); }) {
+  assert(cfg_.link_bandwidth_bps > 0.0);
+  assert(cfg_.pels_weight > 0.0 && cfg_.internet_weight > 0.0);
+  assert(cfg_.feedback_interval > 0);
+  assert(cfg_.fgs_loss_window_intervals > 0);
+
+  // In two-priority (QBSS) mode red shares the yellow band; the red band
+  // still exists but never receives traffic, keeping band indices stable.
+  const StrictPriorityQueue::Classifier classify =
+      cfg_.merge_fgs_bands
+          ? StrictPriorityQueue::Classifier([](const Packet& p) {
+              const std::size_t band = StrictPriorityQueue::classify_by_color(p);
+              return band == 2 ? std::size_t{1} : band;
+            })
+          : StrictPriorityQueue::Classifier(&StrictPriorityQueue::classify_by_color);
+  const std::size_t yellow_limit =
+      cfg_.merge_fgs_bands ? cfg_.yellow_limit + cfg_.red_limit : cfg_.yellow_limit;
+  auto priority = std::make_unique<StrictPriorityQueue>(
+      std::vector<std::size_t>{cfg_.green_limit, yellow_limit, cfg_.red_limit},
+      classify);
+  auto internet = std::make_unique<DropTailQueue>(cfg_.internet_limit);
+  priority_ = priority.get();
+  internet_ = internet.get();
+
+  std::vector<WrrQueue::Child> children;
+  children.push_back({std::move(priority), cfg_.pels_weight});
+  children.push_back({std::move(internet), cfg_.internet_weight});
+  wrr_ = std::make_unique<WrrQueue>(std::move(children), &pels_wrr_classifier);
+  // Chain drops up to this queue's counters/handler.
+  wrr_->set_drop_handler([this](const Packet& p) { note_drop(p); });
+
+  feedback_timer_.start();
+}
+
+bool PelsQueue::enqueue(Packet pkt) {
+  counters().count_arrival(pkt);
+  // S accumulates everything offered to the PELS group (including packets
+  // about to be dropped): eq. (11) measures demand, not admitted traffic.
+  if (pkt.color != Color::kInternet) {
+    const bool is_fgs = pkt.color == Color::kYellow || pkt.color == Color::kRed;
+    meter_.add_bytes(pkt.size_bytes, is_fgs);
+  }
+  return wrr_->enqueue(std::move(pkt));
+}
+
+std::optional<Packet> PelsQueue::dequeue() {
+  auto pkt = wrr_->dequeue();
+  if (!pkt) return std::nullopt;
+  counters().count_departure(*pkt);
+  // Stamp feedback into every departing PELS-flow packet regardless of
+  // colour (§5.1: green-only feedback would add delay; red/yellow reordering
+  // is handled by epoch filtering at the source).
+  if (pkt->color != Color::kInternet) meter_.stamp(*pkt);
+  return pkt;
+}
+
+void PelsQueue::set_link_bandwidth(double bandwidth_bps) {
+  assert(bandwidth_bps > 0.0);
+  cfg_.link_bandwidth_bps = bandwidth_bps;
+  pels_capacity_bps_ =
+      bandwidth_bps * cfg_.pels_weight / (cfg_.pels_weight + cfg_.internet_weight);
+  meter_.set_capacity_bps(pels_capacity_bps_);
+}
+
+std::size_t PelsQueue::band_packet_count(std::size_t band) const {
+  return priority_->band_packet_count(band);
+}
+
+void PelsQueue::on_feedback_interval() {
+  meter_.close_interval();
+  // Every few intervals, refresh the gamma-facing FGS loss from exact drop
+  // counts: p_fgs = FGS drops / FGS arrivals over the window. Between
+  // refreshes the value holds steady, which the gamma map tolerates (its
+  // stability is delay-independent, Lemma 3).
+  if (++intervals_since_fgs_update_ < cfg_.fgs_loss_window_intervals) return;
+  intervals_since_fgs_update_ = 0;
+  const auto& c = counters();
+  const auto y = static_cast<std::size_t>(Color::kYellow);
+  const auto r = static_cast<std::size_t>(Color::kRed);
+  const std::uint64_t arrivals = c.arrivals[y] + c.arrivals[r];
+  const std::uint64_t drops = c.drops[y] + c.drops[r];
+  const std::uint64_t d_arr = arrivals - fgs_arrivals_anchor_;
+  const std::uint64_t d_drop = drops - fgs_drops_anchor_;
+  fgs_arrivals_anchor_ = arrivals;
+  fgs_drops_anchor_ = drops;
+  if (d_arr > 0) {
+    meter_.set_fgs_loss(static_cast<double>(d_drop) / static_cast<double>(d_arr));
+  } else {
+    meter_.set_fgs_loss(0.0);
+  }
+}
+
+}  // namespace pels

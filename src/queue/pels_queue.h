@@ -1,0 +1,136 @@
+// The PELS router queue (paper §4.1, §5.2): the primary AQM contribution.
+//
+// Composition (Fig. 4 left):
+//
+//   link <- WRR --+-- PELS group: strict priority [green | yellow | red]
+//                 +-- Internet queue: FIFO (all non-PELS traffic)
+//
+// WRR isolates PELS traffic from cross traffic at a configurable bandwidth
+// share; strict priority inside the PELS group concentrates congestion drops
+// in the red band, then yellow, and only then green — the "optimal"
+// preferential drop pattern of §3.2.
+//
+// The queue also implements the router half of MKC congestion control
+// (eq. (11)): every T time units it computes the PELS arrival rate R = S/T,
+// packet loss p = (R - C)/R against the PELS capacity share C, increments
+// its epoch z, and stamps the label (router id, z, p, p_fgs) into every
+// departing PELS-flow packet, overriding an existing label only when
+// reporting larger loss (max-min, most-congested-resource semantics). The
+// second metric p_fgs — the FGS-layer loss that drives the sender's gamma
+// controller — is refreshed from exact drop counts over a longer window
+// (see fgs_loss_window_intervals and DESIGN.md §4).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/queue_disc.h"
+#include "queue/drop_tail.h"
+#include "queue/feedback_meter.h"
+#include "queue/priority.h"
+#include "queue/wrr.h"
+#include "sim/scheduler.h"
+#include "sim/timer.h"
+#include "util/time.h"
+
+namespace pels {
+
+struct PelsQueueConfig {
+  std::int32_t router_id = 0;
+  double link_bandwidth_bps = 4e6;
+  double pels_weight = 0.5;      // WRR share of the PELS group
+  double internet_weight = 0.5;  // WRR share of the Internet queue
+  SimTime feedback_interval = from_millis(30);  // T in eq. (11)
+  /// The FGS-layer loss that drives gamma is measured from actual drop
+  /// counts over this many feedback intervals (a longer window than T: drop
+  /// counts per 30 ms are too quantized to steer gamma).
+  int fgs_loss_window_intervals = 8;            // ~ 240 ms at T = 30 ms
+  std::size_t green_limit = 100;  // packets; green demand never fills this
+  /// Yellow sized to ~100 ms of PELS capacity: large enough to absorb frame
+  /// pacing bursts, small enough that a transient backlog (gamma briefly too
+  /// low) cannot act as a long-memory integrator destabilizing the gamma
+  /// loop — excess spills as yellow loss, which gamma corrects (§4.2's
+  /// "spill into the yellow queue" regime).
+  std::size_t yellow_limit = 50;
+  /// Red is intentionally shallow: its only job is absorbing drops, and its
+  /// occupancy/service ratio sets the red queueing delay (paper Fig. 9 left,
+  /// hundreds of ms). A deep red band would just delay packets that mostly
+  /// get discarded by the decoder anyway.
+  std::size_t red_limit = 12;
+  std::size_t internet_limit = 100;
+  /// QBSS-style two-priority mode (paper §2.1: Internet-2's scavenger
+  /// service "does not support more than two priorities"): yellow and red
+  /// share one FIFO band, so congestion tail-drops land on arrival order
+  /// instead of strictly on the red suffix. Exists to quantify what the
+  /// third priority buys (bench/ablation_two_priority).
+  bool merge_fgs_bands = false;
+  // Loss feedback is clamped to [loss_floor, loss_ceiling]; the floor bounds
+  // how aggressively sources ramp when the link is nearly idle (p = (R-C)/R
+  // diverges to -inf as R -> 0).
+  double loss_floor = -20.0;
+  double loss_ceiling = 0.999;
+  /// EWMA gain on the measured arrival rate R across feedback intervals
+  /// (1.0 = no smoothing). At T = 30 ms an interval holds only tens of
+  /// packets and quantization noise on R jitters source rates by a few
+  /// percent — but smoothing is NOT the cure: the lag it adds interacts with
+  /// MKC's multiplicative ramp (p is pinned at the floor while rate grows)
+  /// and produces a large limit cycle. Leave at 1.0 unless sources cap their
+  /// growth aggressively; lengthen feedback_interval to reduce noise instead.
+  double feedback_rate_ewma = 1.0;
+};
+
+class PelsQueue : public QueueDisc {
+ public:
+  PelsQueue(Scheduler& sched, PelsQueueConfig config);
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+  const Packet* peek() const override { return wrr_->peek(); }
+  std::size_t packet_count() const override { return wrr_->packet_count(); }
+  std::int64_t byte_count() const override { return wrr_->byte_count(); }
+
+  /// PELS capacity share in bits/s: C = link * pels_weight / total_weight.
+  double pels_capacity_bps() const { return pels_capacity_bps_; }
+
+  /// Re-derives the capacity share after the underlying link rate changes
+  /// (call together with Link::set_bandwidth_bps).
+  void set_link_bandwidth(double bandwidth_bps);
+
+  /// Latest computed feedback (p of eq. (11)); meaningful once epoch() >= 1.
+  double current_loss() const { return meter_.loss(); }
+  /// FGS-layer loss (overshoot over yellow+red demand); drives gamma.
+  double current_fgs_loss() const { return meter_.fgs_loss(); }
+  std::uint64_t epoch() const { return meter_.epoch(); }
+
+  /// Occupancy of the priority bands (0 = green, 1 = yellow, 2 = red).
+  std::size_t band_packet_count(std::size_t band) const;
+
+  /// Counter views for per-class statistics (drop/arrival rates per colour).
+  const ColorCounters& pels_group_counters() const { return priority_->counters(); }
+  const ColorCounters& internet_counters() const { return internet_->counters(); }
+
+  const PelsQueueConfig& config() const { return cfg_; }
+
+ private:
+  void on_feedback_interval();
+
+  PelsQueueConfig cfg_;
+  double pels_capacity_bps_;
+  // Owned by wrr_; kept as raw views for band statistics.
+  StrictPriorityQueue* priority_ = nullptr;
+  DropTailQueue* internet_ = nullptr;
+  std::unique_ptr<WrrQueue> wrr_;
+  FeedbackMeter meter_;
+  PeriodicTimer feedback_timer_;
+
+  // Drop-count-based FGS loss measurement (see fgs_loss_window_intervals).
+  int intervals_since_fgs_update_ = 0;
+  std::uint64_t fgs_arrivals_anchor_ = 0;
+  std::uint64_t fgs_drops_anchor_ = 0;
+};
+
+/// Convenience classifier used by PelsQueue: Internet traffic to child 1,
+/// everything else (green/yellow/red/ack) to the PELS group (child 0).
+std::size_t pels_wrr_classifier(const Packet& pkt);
+
+}  // namespace pels

@@ -1,0 +1,97 @@
+#include "queue/wrr.h"
+
+#include <cassert>
+
+namespace pels {
+
+WrrQueue::WrrQueue(std::vector<Child> children, Classifier classify, std::int64_t quantum_bytes)
+    : children_(std::move(children)),
+      classify_(std::move(classify)),
+      quantum_bytes_(quantum_bytes),
+      deficit_(children_.size(), 0) {
+  assert(!children_.empty());
+  assert(classify_ != nullptr);
+  assert(quantum_bytes_ > 0);
+  for (auto& c : children_) {
+    assert(c.queue != nullptr);
+    assert(c.weight > 0.0);
+    // Surface child drops through this queue's counters/handler so callers
+    // observe a single coherent drop stream.
+    c.queue->set_drop_handler([this](const Packet& p) { note_drop(p); });
+  }
+}
+
+bool WrrQueue::enqueue(Packet pkt) {
+  counters().count_arrival(pkt);
+  const std::size_t idx = classify_(pkt);
+  assert(idx < children_.size() && "classifier returned out-of-range child");
+  // The child counts its own arrival and reports any drop via the forwarding
+  // handler installed above.
+  return children_[idx].queue->enqueue(std::move(pkt));
+}
+
+namespace {
+/// Core DRR selection: advances (deficit, current) until a child can send.
+/// Returns the chosen child index or npos if all children are empty.
+std::size_t drr_select(const std::vector<WrrQueue::Child>& children, std::int64_t quantum,
+                       std::vector<std::int64_t>& deficit, std::size_t& current) {
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  bool any = false;
+  for (const auto& c : children)
+    if (!c.queue->empty()) {
+      any = true;
+      break;
+    }
+  if (!any) return npos;
+
+  for (;;) {
+    const auto& child = children[current];
+    const Packet* head = child.queue->peek();
+    if (head == nullptr) {
+      // DRR rule: an empty child forfeits its accumulated credit.
+      deficit[current] = 0;
+      current = (current + 1) % children.size();
+      continue;
+    }
+    if (deficit[current] >= head->size_bytes) {
+      deficit[current] -= head->size_bytes;
+      return current;
+    }
+    deficit[current] +=
+        static_cast<std::int64_t>(static_cast<double>(quantum) * children[current].weight);
+    current = (current + 1) % children.size();
+  }
+}
+}  // namespace
+
+std::optional<Packet> WrrQueue::dequeue() {
+  const std::size_t idx = drr_select(children_, quantum_bytes_, deficit_, current_);
+  if (idx == npos) return std::nullopt;
+  auto pkt = children_[idx].queue->dequeue();
+  assert(pkt.has_value());
+  counters().count_departure(*pkt);
+  return pkt;
+}
+
+const Packet* WrrQueue::peek() const {
+  // Simulate selection on copies so peek stays side-effect free.
+  std::vector<std::int64_t> deficit = deficit_;
+  std::size_t current = current_;
+  const std::size_t idx = drr_select(children_, quantum_bytes_, deficit, current);
+  if (idx == npos) return nullptr;
+  return children_[idx].queue->peek();
+}
+
+std::size_t WrrQueue::packet_count() const {
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c.queue->packet_count();
+  return n;
+}
+
+std::int64_t WrrQueue::byte_count() const {
+  std::int64_t n = 0;
+  for (const auto& c : children_) n += c.queue->byte_count();
+  return n;
+}
+
+}  // namespace pels

@@ -1,0 +1,54 @@
+// Weighted round-robin scheduler over child queue disciplines.
+//
+// Implemented as deficit round robin (Shreedhar & Varghese): each child
+// accumulates weight-proportional byte credit per round and is served while
+// its head packet fits the credit. Byte-based credit makes the weights hold
+// as *bandwidth* shares even with mixed packet sizes. PELS uses a two-child
+// instance: {PELS strict-priority group, Internet FIFO} (paper §4.1, Fig. 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/queue_disc.h"
+
+namespace pels {
+
+class WrrQueue : public QueueDisc {
+ public:
+  /// Maps a packet to a child index in [0, children). Must be pure.
+  using Classifier = std::function<std::size_t(const Packet&)>;
+
+  struct Child {
+    std::unique_ptr<QueueDisc> queue;
+    double weight;  // > 0; shares are weight / sum(weights)
+  };
+
+  /// `quantum_bytes` is the byte credit granted to a weight-1.0 child per
+  /// round; it should be at least the MTU so every packet can eventually be
+  /// served.
+  WrrQueue(std::vector<Child> children, Classifier classify, std::int64_t quantum_bytes = 1500);
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+  const Packet* peek() const override;
+  std::size_t packet_count() const override;
+  std::int64_t byte_count() const override;
+
+  std::size_t child_count() const { return children_.size(); }
+  QueueDisc& child(std::size_t i) { return *children_.at(i).queue; }
+  const QueueDisc& child(std::size_t i) const { return *children_.at(i).queue; }
+  double weight(std::size_t i) const { return children_.at(i).weight; }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::vector<Child> children_;
+  Classifier classify_;
+  std::int64_t quantum_bytes_;
+  std::vector<std::int64_t> deficit_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace pels

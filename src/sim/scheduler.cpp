@@ -1,0 +1,57 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace pels {
+
+EventId Scheduler::schedule_at(SimTime t, Callback fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  assert(fn && "callback must be callable");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // Erasing from live_ is the cancellation; the stale heap entry is skipped
+  // when it reaches the top. Ids of executed events are no longer live, so
+  // cancelling them is a harmless no-op.
+  return live_.erase(id) != 0;
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; move the entry out before popping so
+    // the callback survives the pop.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled: skip stale entry
+    now_ = e.t;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime t_end) {
+  while (!heap_.empty()) {
+    // Drop cancelled entries from the top without advancing time.
+    const Entry& top = heap_.top();
+    if (live_.count(top.id) == 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.t > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace pels

@@ -1,0 +1,85 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are (time, callback) pairs kept in a binary heap. Ties in time are
+// broken by insertion order, so execution is fully deterministic. Events can
+// be cancelled by id; cancellation is O(1) (lazy removal at pop time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pels {
+
+/// Identifies a scheduled event for cancellation. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) after now.
+  EventId schedule_in(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Runs the next event; returns false if none remain.
+  bool step();
+
+  /// Runs events until the queue drains or time would exceed `t_end`.
+  /// Events scheduled exactly at `t_end` are executed. On return, now() is
+  /// min(t_end, drain time).
+  void run_until(SimTime t_end);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Total number of events executed so far (for diagnostics/microbenches).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of events still pending in the heap. An id absent from this set is
+  // either executed or cancelled; heap entries whose id is missing are
+  // skipped lazily at pop time.
+  std::unordered_set<EventId> live_;
+};
+
+}  // namespace pels

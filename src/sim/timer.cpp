@@ -1,0 +1,39 @@
+#include "sim/timer.h"
+
+#include <cassert>
+
+namespace pels {
+
+PeriodicTimer::PeriodicTimer(Scheduler& sched, SimTime period, Callback fn)
+    : sched_(sched), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0 && "timer period must be positive");
+  assert(fn_ && "timer callback must be callable");
+}
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(SimTime first_delay) {
+  if (pending_ != 0) return;
+  pending_ = sched_.schedule_in(first_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (pending_ != 0) {
+    sched_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTimer::set_period(SimTime period) {
+  assert(period > 0);
+  period_ = period;
+}
+
+void PeriodicTimer::fire() {
+  // Reschedule before invoking so the callback may call stop() to end the
+  // timer, or observe running() == true consistently.
+  pending_ = sched_.schedule_in(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace pels

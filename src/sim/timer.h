@@ -1,0 +1,52 @@
+// Periodic timer built on the Scheduler.
+//
+// Used for router feedback epochs (every T units), source control intervals,
+// and metric sampling. The timer reschedules itself until stopped; stopping
+// from inside the callback is supported.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace pels {
+
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Creates a stopped timer bound to `sched`; `period` must be > 0.
+  PeriodicTimer(Scheduler& sched, SimTime period, Callback fn);
+
+  /// Non-copyable: the scheduler holds callbacks referencing `this`.
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  ~PeriodicTimer() { stop(); }
+
+  /// Starts the timer; first fire is `period` from now (or `first_delay` if
+  /// given). No-op if already running.
+  void start();
+  void start_after(SimTime first_delay);
+
+  /// Cancels any pending fire. No-op if stopped.
+  void stop();
+
+  bool running() const { return pending_ != 0; }
+  SimTime period() const { return period_; }
+
+  /// Changes the period; takes effect at the next (re)scheduling.
+  void set_period(SimTime period);
+
+ private:
+  void fire();
+
+  Scheduler& sched_;
+  SimTime period_;
+  Callback fn_;
+  EventId pending_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--flag). Unknown flags are collected so callers can reject or ignore
+// them. No external dependencies, no global state.
+//
+//   CliArgs args(argc, argv);
+//   const int flows = args.get_int("flows", 4);
+//   const double secs = args.get_double("seconds", 30.0);
+//   const std::string csv = args.get_string("csv", "");
+//   if (args.has("help")) { ... }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pels {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value accessors with defaults; malformed numbers fall back to the
+  /// default (and are reported via parse_errors()).
+  std::string get_string(const std::string& name, const std::string& def) const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were parsed (for unknown-flag checks by the caller).
+  std::vector<std::string> flag_names() const;
+
+  /// Human-readable descriptions of values that failed to parse.
+  const std::vector<std::string>& parse_errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> flags_;  // name -> value ("" for switches)
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace pels

@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : seed_(seed) {
+  // Mix seed and stream through SplitMix64 so that nearby (seed, stream)
+  // pairs yield decorrelated state, per the xoshiro authors' guidance.
+  std::uint64_t sm = seed ^ (stream * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL);
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one invalid state for xoshiro; SplitMix64 cannot
+  // produce four consecutive zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 top bits -> uniform in [0, 1) with full double mantissa precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = next_double();
+  // next_double() can return exactly 0; log(0) is -inf, so nudge.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::int64_t Rng::geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::pareto(double alpha, double xm) {
+  assert(alpha > 0.0 && xm > 0.0);
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  // Children derive from the original seed plus the new stream id; mixing in
+  // one raw draw of our state would make split order-dependent.
+  return Rng(seed_ ^ 0x5851f42d4c957f2dULL, stream);
+}
+
+}  // namespace pels

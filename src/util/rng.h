@@ -1,0 +1,72 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component of the simulator draws from an Rng constructed
+// from the simulation's master seed plus a component-specific stream id, so
+// results are reproducible bit-for-bit regardless of the order in which
+// components are created or invoked.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through SplitMix64 as
+// its authors recommend. It is small, fast, and passes BigCrush; we do not
+// need cryptographic strength, only statistical quality and speed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pels {
+
+/// SplitMix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from `seed`; `stream` selects a decorrelated
+  /// sub-stream so independent components can share one master seed.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric variate: number of failures before first success, p in (0,1].
+  std::int64_t geometric(double p);
+
+  /// Pareto variate with shape alpha > 0 and scale xm > 0.
+  double pareto(double alpha, double xm);
+
+  /// Derives a new Rng with an independent stream (for child components).
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  // retained so split() can derive children
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace pels

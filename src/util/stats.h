@@ -1,0 +1,121 @@
+// Statistics collection helpers used by tests, benches, and metric sinks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pels {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact quantiles. Use for delay distributions
+/// where tails matter and sample counts are modest.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile via linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  std::span<const double> samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// A (time, value) series, e.g. a flow's rate trajectory or per-frame PSNR.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime t;
+    double value;
+  };
+
+  void add(SimTime t, double value) { points_.push_back({t, value}); }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& operator[](std::size_t i) const { return points_[i]; }
+  std::span<const Point> points() const { return points_; }
+
+  /// Mean of values with t in [from, to].
+  double mean_in(SimTime from, SimTime to) const;
+  /// Max |value - mean| over [from, to]; measures steady-state oscillation.
+  double oscillation_in(SimTime from, SimTime to) const;
+  /// Last value at or before t (or `fallback` if none).
+  double value_at(SimTime t, double fallback = 0.0) const;
+
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Jain's fairness index over a set of allocations: (sum x)^2 / (n sum x^2).
+/// Returns 1.0 for an empty set (vacuously fair).
+double jain_fairness_index(std::span<const double> allocations);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus under/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pels

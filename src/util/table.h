@@ -1,0 +1,46 @@
+// Plain-text and CSV table rendering for bench harnesses.
+//
+// Every bench binary prints the same rows/series the paper reports; TablePrinter
+// produces aligned, human-readable tables on stdout and can mirror them to CSV
+// for plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pels {
+
+/// Column-aligned text table with an optional CSV mirror.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+
+  /// Renders the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-style CSV (quotes cells containing separators).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (used between experiments in a bench binary).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace pels

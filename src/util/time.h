@@ -1,0 +1,52 @@
+// Simulated-time representation.
+//
+// All simulation timestamps are integer nanoseconds (SimTime). Integer time
+// makes event ordering deterministic and exactly reproducible across
+// platforms, which double-based clocks cannot guarantee once arithmetic
+// rounding enters the picture (e.g. accumulating per-packet serialization
+// delays). Helpers convert to and from seconds/milliseconds for human-facing
+// configuration and reporting.
+#pragma once
+
+#include <cstdint>
+
+namespace pels {
+
+/// Simulation timestamp or duration in integer nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Sentinel for "no deadline"/"never".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+/// Converts seconds (double) to SimTime, rounding to the nearest nanosecond.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts milliseconds (double) to SimTime.
+constexpr SimTime from_millis(double ms) { return from_seconds(ms / 1e3); }
+
+/// Converts microseconds (double) to SimTime.
+constexpr SimTime from_micros(double us) { return from_seconds(us / 1e6); }
+
+/// Converts SimTime to floating-point seconds (for reporting).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts SimTime to floating-point milliseconds (for reporting).
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Duration needed to serialize `bytes` onto a link of `bits_per_second`.
+constexpr SimTime transmission_time(std::int64_t bytes, double bits_per_second) {
+  return from_seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace pels

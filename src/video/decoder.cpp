@@ -1,0 +1,36 @@
+#include "video/decoder.h"
+
+#include <algorithm>
+
+namespace pels {
+
+std::int64_t FgsDecoder::useful_prefix(
+    std::vector<std::pair<std::int32_t, std::int32_t>> chunks) {
+  std::sort(chunks.begin(), chunks.end());
+  std::int64_t covered = 0;
+  for (const auto& [offset, length] : chunks) {
+    if (offset > covered) break;  // gap: everything after is undecodable
+    covered = std::max<std::int64_t>(covered, offset + length);
+  }
+  return covered;
+}
+
+FrameQuality FgsDecoder::decode(const FrameReception& rx) const {
+  FrameQuality q;
+  q.frame_id = rx.frame_id;
+  q.completed_at = rx.completed_at;
+  q.base_ok = rx.base_bytes_received >= rx.base_bytes_expected;
+  for (const auto& [offset, length] : rx.fgs_chunks) {
+    (void)offset;
+    q.received_fgs_bytes += length;
+  }
+  q.useful_fgs_bytes = useful_prefix(rx.fgs_chunks);
+  q.utility = q.received_fgs_bytes == 0
+                  ? 1.0
+                  : static_cast<double>(q.useful_fgs_bytes) /
+                        static_cast<double>(q.received_fgs_bytes);
+  q.psnr_db = q.base_ok ? rd_->psnr(rx.frame_id, q.useful_fgs_bytes) : rd_->concealment_psnr();
+  return q;
+}
+
+}  // namespace pels

@@ -1,0 +1,62 @@
+#include "video/fec.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+namespace {
+/// log C(n, i) via lgamma, stable for the modest n used here.
+double log_choose(int n, int i) {
+  return std::lgamma(n + 1.0) - std::lgamma(i + 1.0) - std::lgamma(n - i + 1.0);
+}
+}  // namespace
+
+double fec_block_recovery_probability(const FecConfig& cfg, double p) {
+  assert(cfg.data_packets > 0 && cfg.parity_packets >= 0);
+  assert(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;
+  const int n = cfg.block_packets();
+  double prob = 0.0;
+  for (int i = 0; i <= cfg.parity_packets; ++i) {
+    prob += std::exp(log_choose(n, i) + i * std::log(p) + (n - i) * std::log1p(-p));
+  }
+  return prob;
+}
+
+double fec_expected_prefix_blocks(const FecConfig& cfg, double p, int blocks) {
+  assert(blocks >= 1);
+  const double q = fec_block_recovery_probability(cfg, p);
+  if (q >= 1.0) return static_cast<double>(blocks);
+  // E[prefix] = sum_{j=1..B} q^j = q (1 - q^B) / (1 - q).
+  return q * (1.0 - std::pow(q, blocks)) / (1.0 - q);
+}
+
+double fec_expected_useful_bytes(const FecConfig& cfg, double p, int blocks) {
+  return fec_expected_prefix_blocks(cfg, p, blocks) *
+         static_cast<double>(cfg.data_packets) * cfg.packet_size_bytes;
+}
+
+double fec_goodput_efficiency(const FecConfig& cfg, double p, int blocks) {
+  const double sent_bytes = static_cast<double>(blocks) * cfg.block_packets() *
+                            cfg.packet_size_bytes;
+  return fec_expected_useful_bytes(cfg, p, blocks) / sent_bytes;
+}
+
+double fec_simulate_prefix_blocks(const FecConfig& cfg, double p, int blocks,
+                                  int trials, Rng& rng) {
+  assert(trials > 0);
+  std::int64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    for (int b = 0; b < blocks; ++b) {
+      int lost = 0;
+      for (int i = 0; i < cfg.block_packets(); ++i) lost += rng.bernoulli(p);
+      if (lost > cfg.parity_packets) break;  // first unrecovered block ends the prefix
+      ++total;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(trials);
+}
+
+}  // namespace pels

@@ -1,0 +1,57 @@
+// Block-FEC comparator model (paper §1: PELS's goal is "to avoid all
+// bandwidth overhead associated with error-correcting codes and occupy
+// network channels only with the actual video data").
+//
+// Models a systematic (k+m, k) erasure code applied per block of FGS
+// packets: a block of k data packets plus m parity packets is recoverable
+// iff at least k of the k+m packets arrive. Under i.i.d. loss p,
+//
+//   P(block recovered) = sum_{i=0..m} C(k+m, i) p^i (1-p)^(k+m-i)
+//
+// and the decodable FGS prefix ends at the first unrecovered block, so the
+// expected useful prefix is q(1-q^B)/(1-q) blocks for B blocks per frame.
+// The model exposes both the closed forms and Monte-Carlo helpers, plus the
+// *goodput efficiency* — useful bytes divided by transmitted bytes including
+// parity — which is the quantity PELS wins on (efficiency 1 at overhead 0).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace pels {
+
+struct FecConfig {
+  int data_packets = 10;   // k
+  int parity_packets = 2;  // m
+  std::int32_t packet_size_bytes = 500;
+
+  int block_packets() const { return data_packets + parity_packets; }
+  /// Fraction of transmitted bytes that is parity: m / (k+m).
+  double overhead() const {
+    return static_cast<double>(parity_packets) / static_cast<double>(block_packets());
+  }
+};
+
+/// P(one block is recovered) under i.i.d. loss p.
+double fec_block_recovery_probability(const FecConfig& cfg, double p);
+
+/// Expected number of *consecutively recovered* blocks from the start of a
+/// frame of `blocks` blocks (the FGS prefix rule lifted to block level).
+double fec_expected_prefix_blocks(const FecConfig& cfg, double p, int blocks);
+
+/// Expected decodable FGS bytes per frame of `blocks` blocks.
+double fec_expected_useful_bytes(const FecConfig& cfg, double p, int blocks);
+
+/// Goodput efficiency: expected useful bytes divided by all transmitted
+/// bytes (data + parity) of the frame. PELS's preferential dropping achieves
+/// ~(1 - p/p_thr) efficiency with zero parity; FEC pays the overhead always,
+/// even when the network is clean.
+double fec_goodput_efficiency(const FecConfig& cfg, double p, int blocks);
+
+/// Monte-Carlo estimate of the expected prefix blocks (validates the closed
+/// form; also usable with `trials = 1` for sampling).
+double fec_simulate_prefix_blocks(const FecConfig& cfg, double p, int blocks,
+                                  int trials, Rng& rng);
+
+}  // namespace pels

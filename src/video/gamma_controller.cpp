@@ -1,0 +1,29 @@
+#include "video/gamma_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+GammaController::GammaController(GammaConfig config)
+    : cfg_(config), gamma_(config.initial_gamma) {
+  assert(cfg_.p_thr > 0.0 && cfg_.p_thr <= 1.0);
+  assert(cfg_.gamma_low >= 0.0 && cfg_.gamma_low < cfg_.gamma_high && cfg_.gamma_high <= 1.0);
+  assert(cfg_.initial_gamma >= cfg_.gamma_low && cfg_.initial_gamma <= cfg_.gamma_high);
+  // Unlike beta/sigma stability asserts elsewhere, unstable gains are allowed
+  // here on purpose: Figure 5 demonstrates divergence at sigma = 3.
+}
+
+double GammaController::update(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  gamma_ = gamma_iterate(gamma_, p, cfg_.sigma, cfg_.p_thr);
+  gamma_ = std::clamp(gamma_, cfg_.gamma_low, cfg_.gamma_high);
+  ++updates_;
+  return gamma_;
+}
+
+double GammaController::stationary_gamma(double p) const {
+  return std::clamp(p / cfg_.p_thr, cfg_.gamma_low, cfg_.gamma_high);
+}
+
+}  // namespace pels

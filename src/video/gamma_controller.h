@@ -1,0 +1,57 @@
+// The gamma controller: FGS partitioning control (paper §4.3).
+//
+// Adjusts the red fraction gamma of each transmitted FGS frame so that the
+// red-queue loss rate converges to the target p_thr:
+//
+//   gamma(k) = gamma(k-1) + sigma * (p(k-1)/p_thr - gamma(k-1))      (eq. 4)
+//
+// where p is the measured loss in the entire FGS layer. The fixed point is
+// gamma* = p*/p_thr, at which red loss p/gamma = p_thr. Stable iff
+// 0 < sigma < 2 (Lemma 2), under arbitrary feedback delay too (Lemma 3,
+// eq. (5) — the delayed map is the same affine map applied along each
+// delay-residue subsequence, hence the identical condition).
+#pragma once
+
+#include <cstdint>
+
+namespace pels {
+
+struct GammaConfig {
+  double sigma = 0.5;        // controller gain; stable iff in (0, 2)
+  double p_thr = 0.75;       // target red loss rate (70-90% per the paper)
+  double initial_gamma = 0.5;
+  double gamma_low = 0.05;   // probing floor (§6.2: flows keep probing)
+  double gamma_high = 0.95;
+};
+
+class GammaController {
+ public:
+  explicit GammaController(GammaConfig config);
+
+  /// Applies one control step with measured FGS-layer loss `p` in [0, 1].
+  /// Returns the new gamma.
+  double update(double p);
+
+  double gamma() const { return gamma_; }
+  std::uint64_t updates() const { return updates_; }
+  const GammaConfig& config() const { return cfg_; }
+
+  /// Fixed point for stationary loss p: gamma* = p / p_thr (clamped).
+  double stationary_gamma(double p) const;
+
+  /// Lemma 2/3 stability predicate for a candidate gain.
+  static bool is_stable_gain(double sigma) { return sigma > 0.0 && sigma < 2.0; }
+
+ private:
+  GammaConfig cfg_;
+  double gamma_;
+  std::uint64_t updates_ = 0;
+};
+
+/// Pure iterate map of eq. (4) without clamping, for stability analysis and
+/// Figure 5: gamma' = gamma + sigma * (p/p_thr - gamma).
+constexpr double gamma_iterate(double gamma, double p, double sigma, double p_thr) {
+  return gamma + sigma * (p / p_thr - gamma);
+}
+
+}  // namespace pels

@@ -1,0 +1,49 @@
+#include "video/playout.h"
+
+#include <algorithm>
+
+namespace pels {
+
+PlayoutReport evaluate_playout(const std::vector<FrameArrival>& arrivals,
+                               SimTime frame_period, SimTime startup_delay) {
+  PlayoutReport report;
+  if (arrivals.empty()) return report;
+
+  // Playback clock starts at the completion of the first decodable frame.
+  SimTime t0 = kTimeNever;
+  std::int64_t f0 = 0;
+  for (const auto& a : arrivals) {
+    if (a.decodable) {
+      t0 = a.completed_at;
+      f0 = a.frame_id;
+      break;
+    }
+  }
+  if (t0 == kTimeNever) {
+    // Nothing decodable: everything is late.
+    report.frames_total = static_cast<std::int64_t>(arrivals.size());
+    report.frames_late = report.frames_total;
+    return report;
+  }
+
+  for (const auto& a : arrivals) {
+    ++report.frames_total;
+    const SimTime deadline = t0 + startup_delay + (a.frame_id - f0) * frame_period;
+    if (!a.decodable) {
+      ++report.frames_late;
+      continue;
+    }
+    if (a.completed_at <= deadline) {
+      ++report.frames_on_time;
+    } else {
+      ++report.frames_late;
+      report.max_lateness = std::max(report.max_lateness, a.completed_at - deadline);
+    }
+    // Startup needed to make THIS frame punctual with zero slack.
+    const SimTime needed = a.completed_at - t0 - (a.frame_id - f0) * frame_period;
+    report.required_startup = std::max(report.required_startup, std::max<SimTime>(needed, 0));
+  }
+  return report;
+}
+
+}  // namespace pels

@@ -1,0 +1,47 @@
+// Playout-deadline evaluation.
+//
+// The paper's interactive-application argument (§1) is about deadlines:
+// "all video frames have strict decoding deadlines", which is why PELS
+// refuses retransmissions and FEC. This evaluator turns per-frame arrival
+// completion times into the metrics a player cares about: how many frames
+// met their deadline for a given startup (buffering) delay, and the minimal
+// startup delay that would have made the whole sequence play cleanly.
+//
+// Frame f's deadline is  t0 + startup_delay + f * frame_period,  where t0 is
+// the arrival completion time of frame `base_frame` (the frame that starts
+// playback).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pels {
+
+/// Arrival completion of one frame: when its last *useful* byte arrived.
+struct FrameArrival {
+  std::int64_t frame_id = 0;
+  SimTime completed_at = 0;
+  bool decodable = true;  // base layer intact; undecodable frames are late by definition
+};
+
+struct PlayoutReport {
+  std::int64_t frames_total = 0;
+  std::int64_t frames_on_time = 0;
+  std::int64_t frames_late = 0;
+  SimTime max_lateness = 0;          // worst deadline miss
+  /// Minimal startup delay that would have made every decodable frame punctual.
+  SimTime required_startup = 0;
+};
+
+/// Evaluates a frame arrival sequence against a playout schedule.
+///
+/// `arrivals` must be ordered by frame_id (gaps allowed: missing frames are
+/// simply not counted; mark base-layer-lost frames `decodable = false` to
+/// count them as late). Playback time zero is the completion of the first
+/// decodable frame.
+PlayoutReport evaluate_playout(const std::vector<FrameArrival>& arrivals,
+                               SimTime frame_period, SimTime startup_delay);
+
+}  // namespace pels

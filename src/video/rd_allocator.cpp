@@ -1,0 +1,85 @@
+#include "video/rd_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pels {
+
+std::int64_t RdAllocator::bytes_for_level(std::int64_t frame, double level,
+                                          std::int64_t cap) const {
+  // psnr(frame, x) is monotone in x: binary search the smallest x reaching
+  // `level`. Byte granularity is plenty (the packetizer quantizes anyway).
+  if (rd_->psnr(frame, 0) >= level) return 0;
+  if (rd_->psnr(frame, cap) < level) return cap;
+  std::int64_t lo = 0;
+  std::int64_t hi = cap;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (rd_->psnr(frame, mid) >= level) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<std::int64_t> RdAllocator::allocate(std::int64_t first_frame, int frames,
+                                                std::int64_t total_budget_bytes,
+                                                std::int64_t frame_cap_bytes) const {
+  assert(frames > 0);
+  assert(frame_cap_bytes >= 0);
+  const std::int64_t budget =
+      std::clamp<std::int64_t>(total_budget_bytes, 0,
+                               static_cast<std::int64_t>(frames) * frame_cap_bytes);
+
+  auto spend_at_level = [&](double level) {
+    std::int64_t total = 0;
+    for (int i = 0; i < frames; ++i)
+      total += bytes_for_level(first_frame + i, level, frame_cap_bytes);
+    return total;
+  };
+
+  // Bisection on the common PSNR level. Bracket: at the concealment floor no
+  // frame needs bytes; at base + full gain every frame is capped.
+  double lo = 0.0;
+  double hi = 100.0;  // dB; far above any achievable PSNR
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (spend_at_level(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  std::vector<std::int64_t> alloc(static_cast<std::size_t>(frames));
+  std::int64_t spent = 0;
+  for (int i = 0; i < frames; ++i) {
+    alloc[static_cast<std::size_t>(i)] =
+        bytes_for_level(first_frame + i, lo, frame_cap_bytes);
+    spent += alloc[static_cast<std::size_t>(i)];
+  }
+  // Distribute any residual (bisection granularity) to uncapped frames.
+  std::int64_t residual = budget - spent;
+  for (int i = 0; i < frames && residual > 0; ++i) {
+    auto& x = alloc[static_cast<std::size_t>(i)];
+    const std::int64_t room = frame_cap_bytes - x;
+    const std::int64_t add = std::min(room, residual);
+    x += add;
+    residual -= add;
+  }
+  return alloc;
+}
+
+std::vector<double> RdAllocator::psnr_under(std::int64_t first_frame,
+                                            std::span<const std::int64_t> allocation) const {
+  std::vector<double> out;
+  out.reserve(allocation.size());
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    out.push_back(rd_->psnr(first_frame + static_cast<std::int64_t>(i), allocation[i]));
+  }
+  return out;
+}
+
+}  // namespace pels

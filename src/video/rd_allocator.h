@@ -1,0 +1,53 @@
+// R-D-aware rate scaling (the paper's §6.5 pointer to Dai & Loguinov [5]:
+// PELS quality fluctuation "can be further reduced using sophisticated R-D
+// scaling methods ... (not used in this work)"). Implemented here as the
+// optional extension the paper leaves open.
+//
+// Constant-byte scaling gives every frame the same FGS budget x_i, so PSNR
+// tracks per-frame scene complexity and fluctuates. A constant-QUALITY
+// scaler instead spends the same total budget unevenly: hard frames get more
+// enhancement bytes, easy frames fewer, flattening the PSNR trace.
+//
+// RdAllocator solves, for a window of W frames and total budget B:
+//
+//   maximize min_f PSNR_f(x_f)   s.t.  sum x_f = B,  0 <= x_f <= cap_f
+//
+// via bisection on the common PSNR level (each PSNR_f is continuous and
+// strictly increasing in x_f until its cap, so the max-min optimum equalizes
+// PSNR across all frames that are not pinned at a bound).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "video/rd_model.h"
+
+namespace pels {
+
+class RdAllocator {
+ public:
+  /// `rd` is borrowed and must outlive the allocator.
+  explicit RdAllocator(const RdModel& rd) : rd_(&rd) {}
+
+  /// Splits `total_budget_bytes` of FGS budget across `frames` (consecutive
+  /// ids starting at `first_frame`), each capped at `frame_cap_bytes`.
+  /// Returns per-frame byte allocations summing to
+  /// min(total_budget_bytes, frames * frame_cap_bytes).
+  std::vector<std::int64_t> allocate(std::int64_t first_frame, int frames,
+                                     std::int64_t total_budget_bytes,
+                                     std::int64_t frame_cap_bytes) const;
+
+  /// PSNR each frame achieves under an allocation (for tests/benches).
+  std::vector<double> psnr_under(std::int64_t first_frame,
+                                 std::span<const std::int64_t> allocation) const;
+
+ private:
+  /// Bytes frame `f` needs to reach PSNR `level` (clamped to [0, cap]).
+  std::int64_t bytes_for_level(std::int64_t frame, double level,
+                               std::int64_t cap) const;
+
+  const RdModel* rd_;
+};
+
+}  // namespace pels

@@ -1,0 +1,49 @@
+#include "video/rd_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pels {
+
+RdModel::RdModel(RdModelConfig config) : cfg_(config) {
+  assert(cfg_.total_frames > 0);
+  assert(cfg_.max_fgs_bytes > 0);
+  assert(cfg_.max_gain_db > 0.0);
+}
+
+double RdModel::complexity(std::int64_t frame) const {
+  // Foreman-like profile: quiet talking-head opening, gradually increasing
+  // motion, and a high-motion camera pan over the last quarter.
+  const double t = static_cast<double>(frame) / static_cast<double>(cfg_.total_frames);
+  double c = 0.35 + 0.15 * std::sin(2.0 * M_PI * 3.0 * t);  // gesture cycles
+  if (t > 0.72) c += 2.2 * (t - 0.72);                      // the pan
+  return std::clamp(c, 0.0, 1.0);
+}
+
+double RdModel::noise(std::int64_t frame) const {
+  // Deterministic per-frame jitter: same frame always gets the same value.
+  Rng rng(cfg_.seed, static_cast<std::uint64_t>(frame));
+  return rng.normal(0.0, cfg_.base_psnr_noise_db);
+}
+
+double RdModel::base_psnr(std::int64_t frame) const {
+  const double c = complexity(frame);
+  return cfg_.base_psnr_mean_db + cfg_.base_psnr_sway_db * (0.5 - c) * 2.0 + noise(frame);
+}
+
+double RdModel::psnr(std::int64_t frame, std::int64_t useful_fgs_bytes) const {
+  useful_fgs_bytes = std::clamp<std::int64_t>(useful_fgs_bytes, 0, cfg_.max_fgs_bytes);
+  const double fill =
+      static_cast<double>(useful_fgs_bytes) / static_cast<double>(cfg_.max_fgs_bytes);
+  // Logarithmic R-D curve normalized so gain(0) = 0 and gain(1) = max_gain.
+  // The log base (here effectively 1 + 15*fill against log(16)) sets how
+  // front-loaded the enhancement is: the first bit planes buy the most dB,
+  // as in real FGS streams.
+  const double gain = cfg_.max_gain_db * std::log1p(15.0 * fill) / std::log(16.0);
+  // Complex frames have more enhancement headroom: scale gain mildly.
+  const double c = complexity(frame);
+  return base_psnr(frame) + gain * (0.85 + 0.3 * c);
+}
+
+}  // namespace pels

@@ -1,0 +1,244 @@
+// Tests for src/analysis: closed-form best-effort/PELS models (eq. (1)-(3),
+// (6)) against Monte-Carlo simulation, the stability lemmas (2, 3, 5, 6) as
+// numeric properties, and convergence metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/best_effort_model.h"
+#include "analysis/convergence.h"
+#include "analysis/stability.h"
+#include "util/rng.h"
+
+namespace pels {
+namespace {
+
+// ------------------------------------------------ best-effort closed forms
+
+TEST(BestEffortModelTest, PaperTable1Values) {
+  // Table 1: H = 100, model column.
+  EXPECT_NEAR(expected_useful_packets(0.0001, 100), 99.49, 0.01);
+  EXPECT_NEAR(expected_useful_packets(0.01, 100), 62.76, 0.01);
+  EXPECT_NEAR(expected_useful_packets(0.1, 100), 8.99, 0.01);
+}
+
+TEST(BestEffortModelTest, LimitsAtExtremes) {
+  EXPECT_DOUBLE_EQ(expected_useful_packets(0.0, 100), 100.0);
+  EXPECT_DOUBLE_EQ(expected_useful_packets(1.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(best_effort_utility(0.0, 100), 1.0);
+}
+
+TEST(BestEffortModelTest, SaturatesAtOneMinusPOverP) {
+  // As H grows, E[Y] -> (1-p)/p (paper Fig. 2 left, p = 0.1 -> 9).
+  const double p = 0.1;
+  EXPECT_NEAR(expected_useful_packets(p, 10'000), useful_packets_limit(p), 1e-6);
+  EXPECT_DOUBLE_EQ(useful_packets_limit(0.1), 9.0);
+}
+
+TEST(BestEffortModelTest, UtilityDecaysAsOneOverH) {
+  // U ~ 1/(Hp) for large H: doubling H halves utility.
+  const double p = 0.1;
+  const double u1 = best_effort_utility(p, 1000);
+  const double u2 = best_effort_utility(p, 2000);
+  EXPECT_NEAR(u1 / u2, 2.0, 0.01);
+}
+
+TEST(BestEffortModelTest, UtilityExampleFromPaper) {
+  // §3.1: p = 0.1, H = 100 -> U ≈ 0.1.
+  EXPECT_NEAR(best_effort_utility(0.1, 100), 0.1, 0.001);
+}
+
+TEST(BestEffortModelTest, PmfReducesToConstantCase) {
+  // A point-mass PMF at H = 100 must reproduce eq. (2).
+  std::vector<double> pmf(100, 0.0);
+  pmf[99] = 1.0;
+  EXPECT_NEAR(expected_useful_packets_pmf(0.05, pmf),
+              expected_useful_packets(0.05, 100), 1e-12);
+}
+
+TEST(BestEffortModelTest, PmfMixtureIsConvexCombination) {
+  // Mixture of two frame sizes = weighted sum of the constant-size results
+  // (eq. (1) is linear in the PMF).
+  std::vector<double> pmf(200, 0.0);
+  pmf[49] = 0.3;   // H = 50
+  pmf[199] = 0.7;  // H = 200
+  const double expected = 0.3 * expected_useful_packets(0.1, 50) +
+                          0.7 * expected_useful_packets(0.1, 200);
+  EXPECT_NEAR(expected_useful_packets_pmf(0.1, pmf), expected, 1e-12);
+}
+
+TEST(BestEffortModelTest, PmfUnnormalizedWeightsAccepted) {
+  std::vector<double> pmf(100, 0.0);
+  pmf[99] = 2.5;  // weight, not probability
+  EXPECT_NEAR(expected_useful_packets_pmf(0.05, pmf),
+              expected_useful_packets(0.05, 100), 1e-12);
+}
+
+TEST(BestEffortModelTest, OptimalKeepsAllReceivedPackets) {
+  EXPECT_DOUBLE_EQ(optimal_useful_packets(0.1, 100), 90.0);
+  EXPECT_DOUBLE_EQ(optimal_useful_packets(0.0, 100), 100.0);
+}
+
+TEST(BestEffortModelTest, PelsUtilityBoundFromPaper) {
+  // §4.3: U >= 0.96 for p = 0.1, p_thr = 0.75; >= 0.996 for p = 0.01.
+  EXPECT_GT(pels_utility_bound(0.1, 0.75), 0.96);
+  EXPECT_GT(pels_utility_bound(0.01, 0.75), 0.996);
+  EXPECT_DOUBLE_EQ(pels_utility_bound(0.0, 0.75), 1.0);
+}
+
+class MonteCarloAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonteCarloAgreement, SimulationMatchesModel) {
+  // Reproduces Table 1's two columns agreeing for any p.
+  const double p = GetParam();
+  Rng rng(42);
+  const double sim = simulate_useful_packets(rng, p, 100, 200'000);
+  const double model = expected_useful_packets(p, 100);
+  EXPECT_NEAR(sim, model, std::max(0.01 * model, 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(LossGrid, MonteCarloAgreement,
+                         ::testing::Values(0.0001, 0.001, 0.01, 0.05, 0.1, 0.3, 0.5));
+
+// ------------------------------------------------------- gamma stability
+
+TEST(GammaStabilityTest, StableGainConvergesToFixedPoint) {
+  // Lemma 2 + the Fig. 5 setting: p = 0.5, p_thr = 0.75 -> gamma* = 2/3.
+  EXPECT_TRUE(gamma_converges(0.1, 0.5, 0.5, 0.75, 200));
+  const auto g = gamma_trajectory(0.1, 0.5, 0.5, 0.75, 200);
+  EXPECT_NEAR(g.back(), 0.5 / 0.75, 1e-6);
+}
+
+TEST(GammaStabilityTest, UnstableGainDiverges) {
+  // sigma = 3 as in Fig. 5: the iterate oscillates with growing amplitude.
+  const auto g = gamma_trajectory(0.1, 0.5, 3.0, 0.75, 60);
+  EXPECT_GT(std::abs(g.back() - 0.5 / 0.75), 10.0);
+  EXPECT_FALSE(gamma_converges(0.1, 0.5, 3.0, 0.75, 60));
+}
+
+TEST(GammaStabilityTest, CriticalGainOscillatesForever) {
+  // sigma = 2 is marginal: the error alternates sign with constant magnitude.
+  const auto g = gamma_trajectory(0.2, 0.5, 2.0, 0.75, 100);
+  const double fp = 0.5 / 0.75;
+  EXPECT_NEAR(std::abs(g[50] - fp), std::abs(g[51] - fp), 1e-9);
+  EXPECT_GT(std::abs(g.back() - fp), 0.1);
+}
+
+class GammaGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaGainSweep, LemmaTwoBoundary) {
+  // Convergence iff 0 < sigma < 2, for delay 1 and for larger delays
+  // (Lemma 3: delay does not change the condition).
+  const double sigma = GetParam();
+  for (int delay : {1, 2, 5}) {
+    const bool converged = gamma_converges(0.1, 0.3, sigma, 0.75, 4000, delay, 1e-3);
+    EXPECT_EQ(converged, gamma_stable_gain(sigma))
+        << "sigma=" << sigma << " delay=" << delay;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GainGrid, GammaGainSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5, 1.9, 2.1, 2.5, 3.0));
+
+TEST(GammaStabilityTest, DelayedConvergenceReachesSameFixedPoint) {
+  for (int delay : {1, 2, 4, 8}) {
+    const auto g = gamma_trajectory(0.9, 0.15, 0.5, 0.75, 2000, delay);
+    EXPECT_NEAR(g.back(), 0.2, 1e-6) << "delay=" << delay;
+  }
+}
+
+// --------------------------------------------------------- MKC stability
+
+TEST(MkcStabilityTest, StationaryRateAndLossFormulas) {
+  // Lemma 6 and the derived equilibrium loss used to size Fig. 7 workloads.
+  EXPECT_DOUBLE_EQ(mkc_stationary_rate(2e6, 2, 20e3, 0.5), 1.04e6);
+  // p* = N(a/b) / (C + N(a/b)): 4 flows -> 160k/2160k.
+  EXPECT_NEAR(mkc_stationary_loss(2e6, 4, 20e3, 0.5), 160.0 / 2160.0, 1e-9);
+  EXPECT_NEAR(mkc_stationary_loss(2e6, 8, 20e3, 0.5), 320.0 / 2320.0, 1e-9);
+}
+
+TEST(MkcStabilityTest, FlowsForLossTargets) {
+  // The paper's Fig. 7 loss levels (~7% and ~14%) need 4 and 8 flows.
+  EXPECT_EQ(mkc_flows_for_loss(2e6, 20e3, 0.5, 0.07), 4);
+  EXPECT_EQ(mkc_flows_for_loss(2e6, 20e3, 0.5, 0.135), 8);
+}
+
+TEST(MkcStabilityTest, TrajectoryConvergesToEquilibrium) {
+  const auto traj = mkc_trajectory({128e3, 128e3}, 2e6, 20e3, 0.5, 500);
+  const double r_star = mkc_stationary_rate(2e6, 2, 20e3, 0.5);
+  EXPECT_NEAR(traj.rates[0].back(), r_star, 1e3);
+  EXPECT_NEAR(traj.rates[1].back(), r_star, 1e3);
+  // Loss converges to p*.
+  EXPECT_NEAR(traj.loss.back(), mkc_stationary_loss(2e6, 2, 20e3, 0.5), 1e-4);
+}
+
+TEST(MkcStabilityTest, UnequalStartsConvergeToFairness) {
+  const auto traj = mkc_trajectory({128e3, 1.8e6}, 2e6, 20e3, 0.5, 2000);
+  EXPECT_NEAR(traj.rates[0].back(), traj.rates[1].back(),
+              traj.rates[0].back() * 0.01);
+}
+
+TEST(MkcStabilityTest, NoSteadyStateOscillation) {
+  const auto traj = mkc_trajectory({128e3}, 2e6, 20e3, 0.5, 1000);
+  const double r_star = mkc_stationary_rate(2e6, 1, 20e3, 0.5);
+  EXPECT_LT(tail_oscillation(traj.rates[0], r_star, 0.2), 1.0);
+}
+
+class MkcGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MkcGainSweep, LemmaFiveBoundary) {
+  // Stable iff 0 < beta < 2, including with feedback delay.
+  const double beta = GetParam();
+  for (int delay : {1, 2, 4}) {
+    const auto traj = mkc_trajectory({300e3, 700e3}, 2e6, 20e3, beta, 6000, delay);
+    const double r_star = mkc_stationary_rate(2e6, 2, 20e3, beta);
+    bool finite = true;
+    for (double r : traj.rates[0])
+      if (!std::isfinite(r) || r > 1e12) finite = false;
+    const bool converged =
+        finite && std::abs(traj.rates[0].back() - r_star) < r_star * 0.02 &&
+        std::abs(traj.rates[1].back() - r_star) < r_star * 0.02;
+    EXPECT_EQ(converged, mkc_stable_gain(beta)) << "beta=" << beta << " delay=" << delay;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GainGrid, MkcGainSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5, 2.2, 3.0));
+
+TEST(MkcStabilityTest, RttIndependenceOfEquilibrium) {
+  // Lemma 6: flows with different delays reach the same stationary rate.
+  const auto fast = mkc_trajectory({128e3}, 2e6, 20e3, 0.5, 3000, 1);
+  const auto slow = mkc_trajectory({128e3}, 2e6, 20e3, 0.5, 3000, 10);
+  EXPECT_NEAR(fast.rates[0].back(), slow.rates[0].back(), 1e3);
+}
+
+// ---------------------------------------------------- convergence metrics
+
+TEST(ConvergenceTest, SettlingIndexFindsStablePoint) {
+  const std::vector<double> v = {0.0, 5.0, 9.0, 10.5, 9.8, 10.1, 10.0};
+  EXPECT_EQ(settling_index(v, 10.0, 0.6), 3u);
+  EXPECT_EQ(settling_index(v, 10.0, 0.05), 6u);
+  EXPECT_EQ(settling_index(v, 42.0, 0.1), v.size());
+}
+
+TEST(ConvergenceTest, SettlingTimeOnSeries) {
+  TimeSeries ts;
+  ts.add(kSecond, 1.0);
+  ts.add(2 * kSecond, 9.5);
+  ts.add(3 * kSecond, 10.0);
+  ts.add(4 * kSecond, 10.1);
+  EXPECT_EQ(settling_time(ts, 10.0, 0.2), 3 * kSecond);
+  EXPECT_EQ(settling_time(ts, 10.0, 0.6), 2 * kSecond);
+  EXPECT_EQ(settling_time(ts, 99.0, 0.1), kTimeNever);
+}
+
+TEST(ConvergenceTest, TailOscillation) {
+  std::vector<double> v(100, 10.0);
+  v[95] = 12.0;
+  v[10] = 50.0;  // outside the tail window
+  EXPECT_DOUBLE_EQ(tail_oscillation(v, 10.0, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(tail_oscillation(v, 10.0, 1.0), 40.0);
+}
+
+}  // namespace
+}  // namespace pels

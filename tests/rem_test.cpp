@@ -1,0 +1,197 @@
+// Tests for the REM marking AQM and the REM-responsive controller (paper
+// §2.2 ref [20]), including the full-stack marking-based streaming path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/rem_controller.h"
+#include "pels/scenario.h"
+#include "queue/rem.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace pels {
+namespace {
+
+Packet make_packet(std::int32_t size, Color color) {
+  Packet p;
+  p.size_bytes = size;
+  p.color = color;
+  return p;
+}
+
+RemQueueConfig queue_config() {
+  RemQueueConfig cfg;
+  cfg.link_bandwidth_bps = 4e6;  // video share 2 mb/s
+  cfg.price_interval = from_millis(30);
+  return cfg;
+}
+
+// --------------------------------------------------------------- RemQueue
+
+TEST(RemQueueTest, PriceStartsAtZeroAndNothingMarked) {
+  Simulation sim;
+  RemQueue q(sim.scheduler(), sim.make_rng(1), queue_config());
+  EXPECT_DOUBLE_EQ(q.price(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mark_probability(), 0.0);
+  q.enqueue(make_packet(500, Color::kYellow));
+  auto pkt = q.dequeue();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_FALSE(pkt->ecn_marked);
+}
+
+TEST(RemQueueTest, PriceRisesUnderOverload) {
+  Simulation sim;
+  RemQueue q(sim.scheduler(), sim.make_rng(2), queue_config());
+  // Offer 2x the video capacity each interval without draining.
+  for (int interval = 0; interval < 5; ++interval) {
+    for (int i = 0; i < 30; ++i) q.enqueue(make_packet(500, Color::kYellow));
+    sim.run_until((interval + 1) * from_millis(30) + from_millis(1));
+  }
+  EXPECT_GT(q.price(), 0.0);
+  EXPECT_GT(q.mark_probability(), 0.0);
+}
+
+TEST(RemQueueTest, PriceDecaysWhenIdle) {
+  Simulation sim;
+  RemQueue q(sim.scheduler(), sim.make_rng(3), queue_config());
+  for (int i = 0; i < 200; ++i) q.enqueue(make_packet(500, Color::kYellow));
+  sim.run_until(from_millis(95));
+  while (q.dequeue().has_value()) {
+  }
+  const double loaded = q.price();
+  ASSERT_GT(loaded, 0.0);
+  sim.run_until(kSecond);  // idle intervals: negative excess drives price down
+  EXPECT_LT(q.price(), loaded * 0.1);
+}
+
+TEST(RemQueueTest, MarkProbabilityFollowsPhiLaw) {
+  Simulation sim;
+  RemQueueConfig cfg = queue_config();
+  RemQueue q(sim.scheduler(), sim.make_rng(4), cfg);
+  for (int i = 0; i < 400; ++i) q.enqueue(make_packet(500, Color::kYellow));
+  sim.run_until(from_millis(151));
+  EXPECT_NEAR(q.mark_probability(), 1.0 - std::pow(cfg.phi, -q.price()), 1e-12);
+}
+
+TEST(RemQueueTest, MarkRateMatchesProbability) {
+  Simulation sim;
+  RemQueueConfig cfg = queue_config();
+  RemQueue q(sim.scheduler(), sim.make_rng(5), cfg);
+  // Prime a stable price, then measure empirical mark fraction.
+  for (int i = 0; i < 400; ++i) q.enqueue(make_packet(500, Color::kYellow));
+  sim.run_until(from_millis(151));
+  const double p_mark = q.mark_probability();
+  ASSERT_GT(p_mark, 0.05);
+  const std::uint64_t before = q.packets_marked();
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    q.enqueue(make_packet(500, Color::kYellow));
+    q.dequeue();
+  }
+  const double observed = static_cast<double>(q.packets_marked() - before) / n;
+  // The price drifts during the burst; allow a loose band.
+  EXPECT_GT(observed, 0.5 * p_mark);
+}
+
+TEST(RemQueueTest, InternetTrafficNeverMarked) {
+  Simulation sim;
+  RemQueue q(sim.scheduler(), sim.make_rng(6), queue_config());
+  for (int i = 0; i < 400; ++i) q.enqueue(make_packet(500, Color::kYellow));
+  sim.run_until(from_millis(151));
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(make_packet(1000, Color::kInternet));
+  }
+  std::uint64_t internet_marked = 0;
+  while (auto pkt = q.dequeue()) {
+    if (pkt->color == Color::kInternet && pkt->ecn_marked) ++internet_marked;
+  }
+  EXPECT_EQ(internet_marked, 0u);
+}
+
+// --------------------------------------------------------- RemController
+
+TEST(RemControllerTest, FixedPointIsWillingnessOverPrice) {
+  RemControllerConfig cfg;
+  cfg.willingness = 100e3;
+  cfg.phi = 1.2;
+  RemController ctl(cfg);
+  // Mark fraction corresponding to price 0.1: f = 1 - phi^-0.1.
+  const double price = 0.1;
+  const double f = 1.0 - std::pow(cfg.phi, -price);
+  for (int i = 0; i < 500; ++i) ctl.on_mark_fraction(f, 0);
+  EXPECT_NEAR(ctl.estimated_price(), price, 1e-9);
+  EXPECT_NEAR(ctl.rate_bps(), cfg.willingness / price, cfg.willingness / price * 0.01);
+}
+
+TEST(RemControllerTest, NoMarksMeansGrowth) {
+  RemController ctl(RemControllerConfig{});
+  const double before = ctl.rate_bps();
+  ctl.on_mark_fraction(0.0, 0);
+  EXPECT_GT(ctl.rate_bps(), before);
+}
+
+TEST(RemControllerTest, IgnoresLossFeedback) {
+  RemController ctl(RemControllerConfig{});
+  const double before = ctl.rate_bps();
+  ctl.on_router_feedback(0.5, 0);
+  EXPECT_DOUBLE_EQ(ctl.rate_bps(), before);
+}
+
+TEST(RemControllerTest, HigherWillingnessGetsMoreRate) {
+  RemControllerConfig a_cfg, b_cfg;
+  a_cfg.willingness = 50e3;
+  b_cfg.willingness = 150e3;
+  RemController a(a_cfg), b(b_cfg);
+  const double f = 1.0 - std::pow(1.2, -0.1);
+  for (int i = 0; i < 500; ++i) {
+    a.on_mark_fraction(f, 0);
+    b.on_mark_fraction(f, 0);
+  }
+  // Weighted proportional fairness: rates scale with w.
+  EXPECT_NEAR(b.rate_bps() / a.rate_bps(), 3.0, 0.05);
+}
+
+// ------------------------------------------------------------ full stack
+
+TEST(RemIntegration, MarkingKeepsVideoLossFree) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = 3;
+  cfg.seed = 9;
+  cfg.bottleneck = BottleneckKind::kRem;
+  DumbbellScenario s(cfg);
+  s.run_until(40 * kSecond);
+  s.finish();
+  // Congestion is signalled, not enforced: (almost) no video drops, so the
+  // FGS prefix survives and utility stays ~1 even without priorities.
+  const auto& c = s.bottleneck_queue().counters();
+  const auto yellow = static_cast<std::size_t>(Color::kYellow);
+  ASSERT_GT(c.arrivals[yellow], 10'000u);
+  EXPECT_LT(static_cast<double>(c.drops[yellow]) /
+                static_cast<double>(c.arrivals[yellow]),
+            0.01);
+  EXPECT_GT(s.sink(0).mean_utility(), 0.98);
+  EXPECT_GT(s.rem_queue()->packets_marked(), 100u);
+}
+
+TEST(RemIntegration, RatesConvergeAndShareFairly) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = 3;
+  cfg.seed = 9;
+  cfg.bottleneck = BottleneckKind::kRem;
+  DumbbellScenario s(cfg);
+  const SimTime duration = 60 * kSecond;
+  s.run_until(duration);
+  const double r0 = s.source(0).rate_series().mean_in(40 * kSecond, duration);
+  const double r1 = s.source(1).rate_series().mean_in(40 * kSecond, duration);
+  const double shares[] = {r0, r1};
+  EXPECT_GT(jain_fairness_index(shares), 0.99);
+  // Equal willingness: equal shares, and the aggregate tracks the video
+  // capacity (REM equalizes demand to capacity through the price).
+  EXPECT_NEAR(r0 + r1, s.video_capacity_bps(), s.video_capacity_bps() * 0.15);
+}
+
+}  // namespace
+}  // namespace pels

@@ -1,0 +1,162 @@
+// Failure-injection and robustness tests: link degradation, lossy ACK paths,
+// flow churn. The paper's framework must keep its invariants (green
+// protection, red-absorbs-loss, convergence to the new equilibrium) when the
+// environment changes under it.
+#include <gtest/gtest.h>
+
+#include "analysis/stability.h"
+#include "cc/mkc.h"
+#include "pels/scenario.h"
+#include "util/stats.h"
+
+namespace pels {
+namespace {
+
+ScenarioConfig base_config(int flows) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = flows;
+  cfg.tcp_flows = 3;
+  cfg.seed = 17;
+  return cfg;
+}
+
+// ----------------------------------------------------- capacity changes
+
+TEST(RobustnessTest, CapacityDegradationReconverges) {
+  // Halve the bottleneck at t = 20 s: flows must settle at the new
+  // stationary rate C'/N + alpha/beta without losing green packets.
+  ScenarioConfig cfg = base_config(2);
+  DumbbellScenario s(cfg);
+  s.run_until(20 * kSecond);
+  const double before = s.source(0).rate_series().mean_in(15 * kSecond, 20 * kSecond);
+  s.set_bottleneck_bandwidth(2e6);  // PELS share drops 2 mb/s -> 1 mb/s
+  s.run_until(50 * kSecond);
+  const double after = s.source(0).rate_series().mean_in(40 * kSecond, 50 * kSecond);
+  const double r_star_new = MkcController::stationary_rate(1e6, 2, cfg.mkc);
+  EXPECT_NEAR(after, r_star_new, r_star_new * 0.08);
+  EXPECT_LT(after, before * 0.65);
+  EXPECT_LT(s.loss_series(Color::kGreen).mean_in(30 * kSecond, 50 * kSecond), 1e-6);
+}
+
+TEST(RobustnessTest, CapacityUpgradeIsClaimed) {
+  ScenarioConfig cfg = base_config(2);
+  DumbbellScenario s(cfg);
+  s.run_until(20 * kSecond);
+  s.set_bottleneck_bandwidth(8e6);  // PELS share 2 mb/s -> 4 mb/s
+  s.run_until(50 * kSecond);
+  const double after = s.source(0).rate_series().mean_in(40 * kSecond, 50 * kSecond);
+  const double r_star_new = MkcController::stationary_rate(4e6, 2, cfg.mkc);
+  EXPECT_NEAR(after, r_star_new, r_star_new * 0.08);
+}
+
+TEST(RobustnessTest, GammaTracksLossAcrossCapacityDrop) {
+  // After the drop the relative overshoot doubles; gamma must rise with it
+  // and red keeps absorbing the loss (yellow stays protected).
+  ScenarioConfig cfg = base_config(4);
+  DumbbellScenario s(cfg);
+  s.run_until(30 * kSecond);
+  const double gamma_before = s.source(0).gamma_series().mean_in(20 * kSecond, 30 * kSecond);
+  s.set_bottleneck_bandwidth(2.4e6);
+  s.run_until(70 * kSecond);
+  const double gamma_after = s.source(0).gamma_series().mean_in(55 * kSecond, 70 * kSecond);
+  EXPECT_GT(gamma_after, gamma_before * 1.5);
+  EXPECT_LT(s.loss_series(Color::kYellow).mean_in(45 * kSecond, 70 * kSecond), 0.02);
+}
+
+// ------------------------------------------------------- lossy ACK path
+
+TEST(RobustnessTest, SurvivesAckLoss) {
+  // 20% of ACKs vanish: feedback arrives via the surviving ACKs (every data
+  // packet is acknowledged, and epochs are consumed at most once anyway), so
+  // the equilibrium must be unchanged.
+  ScenarioConfig clean_cfg = base_config(2);
+  DumbbellScenario clean(clean_cfg);
+  clean.run_until(30 * kSecond);
+  ScenarioConfig lossy_cfg = base_config(2);
+  lossy_cfg.ack_loss = 0.2;
+  DumbbellScenario lossy(lossy_cfg);
+  lossy.run_until(30 * kSecond);
+
+  const double clean_rate = clean.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  const double lossy_rate = lossy.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  EXPECT_NEAR(lossy_rate, clean_rate, clean_rate * 0.05);
+  lossy.finish();
+  EXPECT_GT(lossy.sink(0).mean_utility(), 0.95);
+}
+
+TEST(RobustnessTest, HeavyAckLossDegradesGracefully) {
+  // Even at 60% ACK loss the control loop keeps functioning (rates bounded,
+  // green never dropped); loss measurement gets noisier, nothing diverges.
+  ScenarioConfig cfg = base_config(2);
+  cfg.ack_loss = 0.6;
+  DumbbellScenario s(cfg);
+  s.run_until(30 * kSecond);
+  const double rate = s.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  const double r_star = MkcController::stationary_rate(s.video_capacity_bps(), 2, cfg.mkc);
+  EXPECT_GT(rate, r_star * 0.7);
+  EXPECT_LT(rate, r_star * 1.3);
+  EXPECT_LT(s.loss_series(Color::kGreen).mean_in(10 * kSecond, 30 * kSecond), 1e-6);
+}
+
+// -------------------------------------------------- non-congestive loss
+
+TEST(RobustnessTest, WirelessLossDoesNotConfuseMkc) {
+  // Corruption happens after the queue; MKC's demand-based feedback cannot
+  // see it, so the sending rate must be unchanged (unlike loss-based CC).
+  ScenarioConfig clean_cfg = base_config(2);
+  DumbbellScenario clean(clean_cfg);
+  clean.run_until(30 * kSecond);
+  ScenarioConfig lossy_cfg = base_config(2);
+  lossy_cfg.wireless_loss = 0.05;
+  DumbbellScenario lossy(lossy_cfg);
+  lossy.run_until(30 * kSecond);
+  const double r_clean = clean.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  const double r_lossy = lossy.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  EXPECT_NEAR(r_lossy, r_clean, r_clean * 0.03);
+}
+
+TEST(RobustnessTest, WirelessLossDegradesUtilityAsBestEffort) {
+  // Post-queue corruption is uniform random loss on the decodable classes:
+  // utility falls toward the best-effort analysis at the corruption rate.
+  ScenarioConfig cfg = base_config(2);
+  cfg.wireless_loss = 0.05;
+  DumbbellScenario s(cfg);
+  s.run_until(30 * kSecond);
+  s.finish();
+  const double u = s.sink(0).mean_utility();
+  EXPECT_LT(u, 0.85);
+  EXPECT_GT(u, 0.3);
+}
+
+// ------------------------------------------------------------ flow churn
+
+TEST(RobustnessTest, DepartingFlowReleasesBandwidth) {
+  ScenarioConfig cfg = base_config(4);
+  DumbbellScenario s(cfg);
+  s.run_until(20 * kSecond);
+  const double shared = s.source(0).rate_series().mean_in(15 * kSecond, 20 * kSecond);
+  // Flows 2 and 3 leave.
+  s.source(2).stop();
+  s.source(3).stop();
+  s.run_until(50 * kSecond);
+  const double after = s.source(0).rate_series().mean_in(40 * kSecond, 50 * kSecond);
+  const double r_star_2 = MkcController::stationary_rate(s.video_capacity_bps(), 2, cfg.mkc);
+  EXPECT_GT(after, shared * 1.5);
+  EXPECT_NEAR(after, r_star_2, r_star_2 * 0.08);
+}
+
+TEST(RobustnessTest, RepeatedChurnKeepsUtilityHigh) {
+  ScenarioConfig cfg = base_config(6);
+  cfg.start_times = staircase_starts(6, 2, 8 * kSecond);
+  DumbbellScenario s(cfg);
+  s.run_until(30 * kSecond);
+  s.source(4).stop();
+  s.source(5).stop();
+  s.run_until(45 * kSecond);
+  s.finish();
+  EXPECT_GT(s.sink(0).mean_utility(), 0.9);
+  EXPECT_LT(s.loss_series(Color::kGreen).mean_in(5 * kSecond, 45 * kSecond), 1e-6);
+}
+
+}  // namespace
+}  // namespace pels

@@ -1,0 +1,267 @@
+// Tests for src/sim: scheduler ordering/cancellation semantics, run_until
+// boundaries, periodic timers, and the Simulation context.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+#include "sim/timer.h"
+#include "util/rng.h"
+
+namespace pels {
+namespace {
+
+TEST(SchedulerTest, StartsEmptyAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, NowAdvancesToEventTime) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(123, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(SchedulerTest, ScheduleInIsRelative) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelReturnsFalseForExecutedOrUnknown) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));      // already executed
+  EXPECT_FALSE(s.cancel(0));       // never valid
+  EXPECT_FALSE(s.cancel(999999));  // never issued
+}
+
+TEST(SchedulerTest, DoubleCancelIsIdempotent) {
+  Scheduler s;
+  const EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, CancelDoesNotDisturbOtherEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(1); });
+  const EventId id = s.schedule_at(20, [&] { order.push_back(2); });
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SchedulerTest, PendingCountTracksLiveEvents) {
+  Scheduler s;
+  const EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.step();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  s.run_until(30);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(100);
+  EXPECT_EQ(fired.back(), 40);
+  // With the queue drained, now() still advances to the requested boundary.
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(SchedulerTest, RunUntilWithOnlyCancelledEventsAdvancesTime) {
+  Scheduler s;
+  const EventId id = s.schedule_at(10, [] {});
+  s.cancel(id);
+  s.run_until(50);
+  EXPECT_EQ(s.now(), 50);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(10, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  Scheduler s;
+  Rng rng(11);
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    s.schedule_at(rng.uniform_int(0, 1000), [&] {
+      if (s.now() < last) monotone = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed(), 10000u);
+}
+
+// ---------------------------------------------------------- PeriodicTimer
+
+TEST(PeriodicTimerTest, FiresAtPeriodMultiples) {
+  Scheduler s;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(s, 100, [&] { fires.push_back(s.now()); });
+  timer.start();
+  s.run_until(350);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_TRUE(timer.running());
+}
+
+TEST(PeriodicTimerTest, StartAfterControlsFirstFire) {
+  Scheduler s;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(s, 100, [&] { fires.push_back(s.now()); });
+  timer.start_after(10);
+  s.run_until(250);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 110, 210}));
+}
+
+TEST(PeriodicTimerTest, StopHaltsFiring) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer timer(s, 100, [&] { ++count; });
+  timer.start();
+  s.run_until(250);
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  s.run_until(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimerTest, StopFromInsideCallback) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer* self = nullptr;
+  PeriodicTimer timer(s, 100, [&] {
+    if (++count == 3) self->stop();
+  });
+  self = &timer;
+  timer.start();
+  s.run_until(10000);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, DoubleStartIsNoOp) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer timer(s, 100, [&] { ++count; });
+  timer.start();
+  timer.start();
+  s.run_until(100);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTimerTest, SetPeriodTakesEffectAtNextRescheduling) {
+  // The fire at t=100 already rescheduled t=200 with the old period; the new
+  // 50-unit period applies from the t=200 rescheduling onward.
+  Scheduler s;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(s, 100, [&] { fires.push_back(s.now()); });
+  timer.start();
+  s.run_until(100);
+  timer.set_period(50);
+  s.run_until(320);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 200, 250, 300}));
+}
+
+TEST(PeriodicTimerTest, RestartAfterStop) {
+  Scheduler s;
+  int count = 0;
+  PeriodicTimer timer(s, 100, [&] { ++count; });
+  timer.start();
+  s.run_until(150);
+  timer.stop();
+  s.run_until(400);
+  timer.start();
+  s.run_until(500);
+  EXPECT_EQ(count, 2);  // one at 100, one at 500
+}
+
+// ------------------------------------------------------------- Simulation
+
+TEST(SimulationTest, RngStreamsAreDeterministic) {
+  Simulation sim1(99);
+  Simulation sim2(99);
+  Rng a = sim1.make_rng(5);
+  Rng b = sim2.make_rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = sim1.make_rng(6);
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(SimulationTest, AfterAndAtSchedule) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(20, [&] { order.push_back(2); });
+  sim.after(10, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 20);
+}
+
+}  // namespace
+}  // namespace pels

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feedback_interval.dir/ablation_feedback_interval.cpp.o"
+  "CMakeFiles/ablation_feedback_interval.dir/ablation_feedback_interval.cpp.o.d"
+  "ablation_feedback_interval"
+  "ablation_feedback_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feedback_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kelly_vs_mkc.dir/ablation_kelly_vs_mkc.cpp.o"
+  "CMakeFiles/ablation_kelly_vs_mkc.dir/ablation_kelly_vs_mkc.cpp.o.d"
+  "ablation_kelly_vs_mkc"
+  "ablation_kelly_vs_mkc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kelly_vs_mkc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

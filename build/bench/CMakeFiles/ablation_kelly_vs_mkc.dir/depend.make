@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_kelly_vs_mkc.
+# This may be replaced when dependencies are built.

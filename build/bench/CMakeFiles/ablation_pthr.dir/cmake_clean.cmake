@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pthr.dir/ablation_pthr.cpp.o"
+  "CMakeFiles/ablation_pthr.dir/ablation_pthr.cpp.o.d"
+  "ablation_pthr"
+  "ablation_pthr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pthr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

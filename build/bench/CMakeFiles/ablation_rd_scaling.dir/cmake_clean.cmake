@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rd_scaling.dir/ablation_rd_scaling.cpp.o"
+  "CMakeFiles/ablation_rd_scaling.dir/ablation_rd_scaling.cpp.o.d"
+  "ablation_rd_scaling"
+  "ablation_rd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rem.dir/ablation_rem.cpp.o"
+  "CMakeFiles/ablation_rem.dir/ablation_rem.cpp.o.d"
+  "ablation_rem"
+  "ablation_rem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_retransmission.cpp" "bench/CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o" "gcc" "bench/CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pels/CMakeFiles/pels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pels_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pels_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/pels_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/pels_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o"
+  "CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o.d"
+  "ablation_retransmission"
+  "ablation_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

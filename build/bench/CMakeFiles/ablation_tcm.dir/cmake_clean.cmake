@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcm.dir/ablation_tcm.cpp.o"
+  "CMakeFiles/ablation_tcm.dir/ablation_tcm.cpp.o.d"
+  "ablation_tcm"
+  "ablation_tcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_two_priority.dir/ablation_two_priority.cpp.o"
+  "CMakeFiles/ablation_two_priority.dir/ablation_two_priority.cpp.o.d"
+  "ablation_two_priority"
+  "ablation_two_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_two_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

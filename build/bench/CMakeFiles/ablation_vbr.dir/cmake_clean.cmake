@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vbr.dir/ablation_vbr.cpp.o"
+  "CMakeFiles/ablation_vbr.dir/ablation_vbr.cpp.o.d"
+  "ablation_vbr"
+  "ablation_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wireless.dir/ablation_wireless.cpp.o"
+  "CMakeFiles/ablation_wireless.dir/ablation_wireless.cpp.o.d"
+  "ablation_wireless"
+  "ablation_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

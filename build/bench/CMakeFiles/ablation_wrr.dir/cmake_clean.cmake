@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wrr.dir/ablation_wrr.cpp.o"
+  "CMakeFiles/ablation_wrr.dir/ablation_wrr.cpp.o.d"
+  "ablation_wrr"
+  "ablation_wrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

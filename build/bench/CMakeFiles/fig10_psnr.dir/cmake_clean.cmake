@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_psnr.dir/fig10_psnr.cpp.o"
+  "CMakeFiles/fig10_psnr.dir/fig10_psnr.cpp.o.d"
+  "fig10_psnr"
+  "fig10_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_utility.dir/fig2_utility.cpp.o"
+  "CMakeFiles/fig2_utility.dir/fig2_utility.cpp.o.d"
+  "fig2_utility"
+  "fig2_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

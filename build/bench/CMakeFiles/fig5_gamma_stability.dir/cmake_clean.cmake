@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gamma_stability.dir/fig5_gamma_stability.cpp.o"
+  "CMakeFiles/fig5_gamma_stability.dir/fig5_gamma_stability.cpp.o.d"
+  "fig5_gamma_stability"
+  "fig5_gamma_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gamma_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

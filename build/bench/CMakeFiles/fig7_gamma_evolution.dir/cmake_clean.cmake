@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gamma_evolution.dir/fig7_gamma_evolution.cpp.o"
+  "CMakeFiles/fig7_gamma_evolution.dir/fig7_gamma_evolution.cpp.o.d"
+  "fig7_gamma_evolution"
+  "fig7_gamma_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gamma_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

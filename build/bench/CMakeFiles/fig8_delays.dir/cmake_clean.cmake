@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_delays.dir/fig8_delays.cpp.o"
+  "CMakeFiles/fig8_delays.dir/fig8_delays.cpp.o.d"
+  "fig8_delays"
+  "fig8_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

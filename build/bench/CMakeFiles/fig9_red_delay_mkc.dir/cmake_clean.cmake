@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_red_delay_mkc.dir/fig9_red_delay_mkc.cpp.o"
+  "CMakeFiles/fig9_red_delay_mkc.dir/fig9_red_delay_mkc.cpp.o.d"
+  "fig9_red_delay_mkc"
+  "fig9_red_delay_mkc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_red_delay_mkc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

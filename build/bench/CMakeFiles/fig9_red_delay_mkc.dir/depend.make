@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_red_delay_mkc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_useful_packets.dir/table1_useful_packets.cpp.o"
+  "CMakeFiles/table1_useful_packets.dir/table1_useful_packets.cpp.o.d"
+  "table1_useful_packets"
+  "table1_useful_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_useful_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_streaming.dir/multihop_streaming.cpp.o"
+  "CMakeFiles/multihop_streaming.dir/multihop_streaming.cpp.o.d"
+  "multihop_streaming"
+  "multihop_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/best_effort_model.cpp" "src/analysis/CMakeFiles/pels_analysis.dir/best_effort_model.cpp.o" "gcc" "src/analysis/CMakeFiles/pels_analysis.dir/best_effort_model.cpp.o.d"
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/pels_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/pels_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/convergence.cpp" "src/analysis/CMakeFiles/pels_analysis.dir/convergence.cpp.o" "gcc" "src/analysis/CMakeFiles/pels_analysis.dir/convergence.cpp.o.d"
+  "/root/repo/src/analysis/stability.cpp" "src/analysis/CMakeFiles/pels_analysis.dir/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/pels_analysis.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_analysis.dir/best_effort_model.cpp.o"
+  "CMakeFiles/pels_analysis.dir/best_effort_model.cpp.o.d"
+  "CMakeFiles/pels_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/pels_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/pels_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/pels_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/pels_analysis.dir/stability.cpp.o"
+  "CMakeFiles/pels_analysis.dir/stability.cpp.o.d"
+  "libpels_analysis.a"
+  "libpels_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpels_analysis.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/aimd.cpp" "src/cc/CMakeFiles/pels_cc.dir/aimd.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/aimd.cpp.o.d"
+  "/root/repo/src/cc/kelly_classic.cpp" "src/cc/CMakeFiles/pels_cc.dir/kelly_classic.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/kelly_classic.cpp.o.d"
+  "/root/repo/src/cc/mkc.cpp" "src/cc/CMakeFiles/pels_cc.dir/mkc.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/mkc.cpp.o.d"
+  "/root/repo/src/cc/rem_controller.cpp" "src/cc/CMakeFiles/pels_cc.dir/rem_controller.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/rem_controller.cpp.o.d"
+  "/root/repo/src/cc/tcp_like.cpp" "src/cc/CMakeFiles/pels_cc.dir/tcp_like.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/tcp_like.cpp.o.d"
+  "/root/repo/src/cc/tfrc_lite.cpp" "src/cc/CMakeFiles/pels_cc.dir/tfrc_lite.cpp.o" "gcc" "src/cc/CMakeFiles/pels_cc.dir/tfrc_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

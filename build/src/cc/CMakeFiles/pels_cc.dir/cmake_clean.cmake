@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_cc.dir/aimd.cpp.o"
+  "CMakeFiles/pels_cc.dir/aimd.cpp.o.d"
+  "CMakeFiles/pels_cc.dir/kelly_classic.cpp.o"
+  "CMakeFiles/pels_cc.dir/kelly_classic.cpp.o.d"
+  "CMakeFiles/pels_cc.dir/mkc.cpp.o"
+  "CMakeFiles/pels_cc.dir/mkc.cpp.o.d"
+  "CMakeFiles/pels_cc.dir/rem_controller.cpp.o"
+  "CMakeFiles/pels_cc.dir/rem_controller.cpp.o.d"
+  "CMakeFiles/pels_cc.dir/tcp_like.cpp.o"
+  "CMakeFiles/pels_cc.dir/tcp_like.cpp.o.d"
+  "CMakeFiles/pels_cc.dir/tfrc_lite.cpp.o"
+  "CMakeFiles/pels_cc.dir/tfrc_lite.cpp.o.d"
+  "libpels_cc.a"
+  "libpels_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

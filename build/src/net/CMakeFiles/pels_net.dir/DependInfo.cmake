@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/pels_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/pels_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/pels_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/pels_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/tcm.cpp" "src/net/CMakeFiles/pels_net.dir/tcm.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/tcm.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/pels_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/pels_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/pels_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_net.dir/host.cpp.o"
+  "CMakeFiles/pels_net.dir/host.cpp.o.d"
+  "CMakeFiles/pels_net.dir/link.cpp.o"
+  "CMakeFiles/pels_net.dir/link.cpp.o.d"
+  "CMakeFiles/pels_net.dir/packet.cpp.o"
+  "CMakeFiles/pels_net.dir/packet.cpp.o.d"
+  "CMakeFiles/pels_net.dir/router.cpp.o"
+  "CMakeFiles/pels_net.dir/router.cpp.o.d"
+  "CMakeFiles/pels_net.dir/tcm.cpp.o"
+  "CMakeFiles/pels_net.dir/tcm.cpp.o.d"
+  "CMakeFiles/pels_net.dir/topology.cpp.o"
+  "CMakeFiles/pels_net.dir/topology.cpp.o.d"
+  "CMakeFiles/pels_net.dir/trace.cpp.o"
+  "CMakeFiles/pels_net.dir/trace.cpp.o.d"
+  "libpels_net.a"
+  "libpels_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_core.dir/arq.cpp.o"
+  "CMakeFiles/pels_core.dir/arq.cpp.o.d"
+  "CMakeFiles/pels_core.dir/metrics.cpp.o"
+  "CMakeFiles/pels_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/pels_core.dir/multihop.cpp.o"
+  "CMakeFiles/pels_core.dir/multihop.cpp.o.d"
+  "CMakeFiles/pels_core.dir/pels_sink.cpp.o"
+  "CMakeFiles/pels_core.dir/pels_sink.cpp.o.d"
+  "CMakeFiles/pels_core.dir/pels_source.cpp.o"
+  "CMakeFiles/pels_core.dir/pels_source.cpp.o.d"
+  "CMakeFiles/pels_core.dir/scenario.cpp.o"
+  "CMakeFiles/pels_core.dir/scenario.cpp.o.d"
+  "libpels_core.a"
+  "libpels_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

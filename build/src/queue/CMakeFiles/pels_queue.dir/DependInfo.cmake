@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/bernoulli.cpp" "src/queue/CMakeFiles/pels_queue.dir/bernoulli.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/bernoulli.cpp.o.d"
+  "/root/repo/src/queue/best_effort.cpp" "src/queue/CMakeFiles/pels_queue.dir/best_effort.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/best_effort.cpp.o.d"
+  "/root/repo/src/queue/drop_tail.cpp" "src/queue/CMakeFiles/pels_queue.dir/drop_tail.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/drop_tail.cpp.o.d"
+  "/root/repo/src/queue/pels_queue.cpp" "src/queue/CMakeFiles/pels_queue.dir/pels_queue.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/pels_queue.cpp.o.d"
+  "/root/repo/src/queue/priority.cpp" "src/queue/CMakeFiles/pels_queue.dir/priority.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/priority.cpp.o.d"
+  "/root/repo/src/queue/red.cpp" "src/queue/CMakeFiles/pels_queue.dir/red.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/red.cpp.o.d"
+  "/root/repo/src/queue/rem.cpp" "src/queue/CMakeFiles/pels_queue.dir/rem.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/rem.cpp.o.d"
+  "/root/repo/src/queue/tracing_queue.cpp" "src/queue/CMakeFiles/pels_queue.dir/tracing_queue.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/tracing_queue.cpp.o.d"
+  "/root/repo/src/queue/wrr.cpp" "src/queue/CMakeFiles/pels_queue.dir/wrr.cpp.o" "gcc" "src/queue/CMakeFiles/pels_queue.dir/wrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_queue.dir/bernoulli.cpp.o"
+  "CMakeFiles/pels_queue.dir/bernoulli.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/best_effort.cpp.o"
+  "CMakeFiles/pels_queue.dir/best_effort.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/drop_tail.cpp.o"
+  "CMakeFiles/pels_queue.dir/drop_tail.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/pels_queue.cpp.o"
+  "CMakeFiles/pels_queue.dir/pels_queue.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/priority.cpp.o"
+  "CMakeFiles/pels_queue.dir/priority.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/red.cpp.o"
+  "CMakeFiles/pels_queue.dir/red.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/rem.cpp.o"
+  "CMakeFiles/pels_queue.dir/rem.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/tracing_queue.cpp.o"
+  "CMakeFiles/pels_queue.dir/tracing_queue.cpp.o.d"
+  "CMakeFiles/pels_queue.dir/wrr.cpp.o"
+  "CMakeFiles/pels_queue.dir/wrr.cpp.o.d"
+  "libpels_queue.a"
+  "libpels_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pels_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pels_sim.dir/timer.cpp.o"
+  "CMakeFiles/pels_sim.dir/timer.cpp.o.d"
+  "libpels_sim.a"
+  "libpels_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

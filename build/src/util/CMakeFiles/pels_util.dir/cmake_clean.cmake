@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_util.dir/cli.cpp.o"
+  "CMakeFiles/pels_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pels_util.dir/rng.cpp.o"
+  "CMakeFiles/pels_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pels_util.dir/stats.cpp.o"
+  "CMakeFiles/pels_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pels_util.dir/table.cpp.o"
+  "CMakeFiles/pels_util.dir/table.cpp.o.d"
+  "libpels_util.a"
+  "libpels_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/decoder.cpp" "src/video/CMakeFiles/pels_video.dir/decoder.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/decoder.cpp.o.d"
+  "/root/repo/src/video/fec.cpp" "src/video/CMakeFiles/pels_video.dir/fec.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/fec.cpp.o.d"
+  "/root/repo/src/video/fgs.cpp" "src/video/CMakeFiles/pels_video.dir/fgs.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/fgs.cpp.o.d"
+  "/root/repo/src/video/frame_size.cpp" "src/video/CMakeFiles/pels_video.dir/frame_size.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/frame_size.cpp.o.d"
+  "/root/repo/src/video/gamma_controller.cpp" "src/video/CMakeFiles/pels_video.dir/gamma_controller.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/gamma_controller.cpp.o.d"
+  "/root/repo/src/video/playout.cpp" "src/video/CMakeFiles/pels_video.dir/playout.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/playout.cpp.o.d"
+  "/root/repo/src/video/rd_allocator.cpp" "src/video/CMakeFiles/pels_video.dir/rd_allocator.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/rd_allocator.cpp.o.d"
+  "/root/repo/src/video/rd_model.cpp" "src/video/CMakeFiles/pels_video.dir/rd_model.cpp.o" "gcc" "src/video/CMakeFiles/pels_video.dir/rd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pels_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pels_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

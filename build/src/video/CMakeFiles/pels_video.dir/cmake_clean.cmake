@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_video.dir/decoder.cpp.o"
+  "CMakeFiles/pels_video.dir/decoder.cpp.o.d"
+  "CMakeFiles/pels_video.dir/fec.cpp.o"
+  "CMakeFiles/pels_video.dir/fec.cpp.o.d"
+  "CMakeFiles/pels_video.dir/fgs.cpp.o"
+  "CMakeFiles/pels_video.dir/fgs.cpp.o.d"
+  "CMakeFiles/pels_video.dir/frame_size.cpp.o"
+  "CMakeFiles/pels_video.dir/frame_size.cpp.o.d"
+  "CMakeFiles/pels_video.dir/gamma_controller.cpp.o"
+  "CMakeFiles/pels_video.dir/gamma_controller.cpp.o.d"
+  "CMakeFiles/pels_video.dir/playout.cpp.o"
+  "CMakeFiles/pels_video.dir/playout.cpp.o.d"
+  "CMakeFiles/pels_video.dir/rd_allocator.cpp.o"
+  "CMakeFiles/pels_video.dir/rd_allocator.cpp.o.d"
+  "CMakeFiles/pels_video.dir/rd_model.cpp.o"
+  "CMakeFiles/pels_video.dir/rd_model.cpp.o.d"
+  "libpels_video.a"
+  "libpels_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

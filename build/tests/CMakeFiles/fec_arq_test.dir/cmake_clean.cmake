@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_arq_test.dir/fec_arq_test.cpp.o"
+  "CMakeFiles/fec_arq_test.dir/fec_arq_test.cpp.o.d"
+  "fec_arq_test"
+  "fec_arq_test.pdb"
+  "fec_arq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_arq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_size_test.dir/frame_size_test.cpp.o"
+  "CMakeFiles/frame_size_test.dir/frame_size_test.cpp.o.d"
+  "frame_size_test"
+  "frame_size_test.pdb"
+  "frame_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_test.dir/multihop_test.cpp.o"
+  "CMakeFiles/multihop_test.dir/multihop_test.cpp.o.d"
+  "multihop_test"
+  "multihop_test.pdb"
+  "multihop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pels_queue_test.dir/pels_queue_test.cpp.o"
+  "CMakeFiles/pels_queue_test.dir/pels_queue_test.cpp.o.d"
+  "pels_queue_test"
+  "pels_queue_test.pdb"
+  "pels_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pels_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

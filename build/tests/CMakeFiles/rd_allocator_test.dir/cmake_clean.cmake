@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_allocator_test.dir/rd_allocator_test.cpp.o"
+  "CMakeFiles/rd_allocator_test.dir/rd_allocator_test.cpp.o.d"
+  "rd_allocator_test"
+  "rd_allocator_test.pdb"
+  "rd_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_test.dir/rem_test.cpp.o"
+  "CMakeFiles/rem_test.dir/rem_test.cpp.o.d"
+  "rem_test"
+  "rem_test.pdb"
+  "rem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -217,12 +217,12 @@ bench/CMakeFiles/ablation_cc.dir/ablation_cc.cpp.o: \
  /root/repo/src/net/node.h /root/repo/src/net/packet.h \
  /usr/include/c++/12/optional /root/repo/src/net/routing.h \
  /root/repo/src/sim/simulation.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/util/rng.h /root/repo/src/net/topology.h \
+ /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
+ /root/repo/src/net/router.h /root/repo/src/queue/best_effort.h \
+ /root/repo/src/queue/drop_tail.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.h \
- /root/repo/src/net/topology.h /root/repo/src/net/link.h \
- /root/repo/src/net/queue_disc.h /root/repo/src/net/router.h \
- /root/repo/src/queue/best_effort.h /root/repo/src/queue/drop_tail.h \
  /usr/include/c++/12/limits /root/repo/src/queue/feedback_meter.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -206,6 +206,7 @@ bench/CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o: \
  /root/repo/src/net/packet.h /usr/include/c++/12/optional \
  /root/repo/src/util/time.h /root/repo/src/net/routing.h \
  /root/repo/src/sim/simulation.h /root/repo/src/sim/scheduler.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -213,14 +214,11 @@ bench/CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/rng.h /root/repo/src/net/topology.h \
- /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
- /root/repo/src/net/router.h /root/repo/src/pels/arq.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/rng.h \
+ /root/repo/src/net/topology.h /root/repo/src/net/link.h \
+ /root/repo/src/net/queue_disc.h /root/repo/src/net/router.h \
+ /root/repo/src/pels/arq.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/timer.h \
@@ -230,8 +228,9 @@ bench/CMakeFiles/ablation_retransmission.dir/ablation_retransmission.cpp.o: \
  /root/repo/src/pels/scenario.h /root/repo/src/cc/mkc.h \
  /root/repo/src/cc/controller.h /root/repo/src/cc/rem_controller.h \
  /root/repo/src/queue/best_effort.h /root/repo/src/queue/drop_tail.h \
- /root/repo/src/queue/feedback_meter.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/queue/feedback_meter.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/queue/wrr.h /root/repo/src/queue/pels_queue.h \

@@ -214,8 +214,5 @@ src/net/CMakeFiles/pels_net.dir/router.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/net/queue_disc.h /root/repo/src/sim/simulation.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/util/rng.h

@@ -209,14 +209,13 @@ src/pels/CMakeFiles/pels_core.dir/pels_source.cpp.o: \
  /root/repo/src/net/node.h /root/repo/src/net/packet.h \
  /usr/include/c++/12/optional /root/repo/src/net/routing.h \
  /root/repo/src/net/tcm.h /root/repo/src/sim/simulation.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/functional \
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/rng.h \
  /root/repo/src/sim/timer.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/stats.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
@@ -226,5 +225,4 @@ src/pels/CMakeFiles/pels_core.dir/pels_source.cpp.o: \
  /root/repo/src/video/rd_allocator.h /root/repo/src/video/rd_model.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cassert /usr/include/assert.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -218,9 +218,6 @@ src/queue/CMakeFiles/pels_queue.dir/best_effort.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/queue/wrr.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/timer.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/sim/timer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.h

@@ -144,10 +144,8 @@ src/queue/CMakeFiles/pels_queue.dir/red.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/util/time.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -212,8 +212,4 @@ src/queue/CMakeFiles/pels_queue.dir/tracing_queue.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/net/packet.h /root/repo/src/util/time.h \
  /root/repo/src/net/trace.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/cassert /usr/include/assert.h

@@ -321,11 +321,10 @@ tests/CMakeFiles/cc_test.dir/cc_test.cpp.o: /root/repo/tests/cc_test.cpp \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/host.h \
  /root/repo/src/net/node.h /root/repo/src/net/packet.h \
  /root/repo/src/net/routing.h /root/repo/src/sim/simulation.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.h /root/repo/src/util/rng.h \
+ /root/repo/src/cc/tfrc_lite.h /root/repo/src/net/topology.h \
+ /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
+ /root/repo/src/net/router.h /root/repo/src/queue/drop_tail.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/rng.h /root/repo/src/cc/tfrc_lite.h \
- /root/repo/src/net/topology.h /root/repo/src/net/link.h \
- /root/repo/src/net/queue_disc.h /root/repo/src/net/router.h \
- /root/repo/src/queue/drop_tail.h /root/repo/src/util/stats.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/stats.h \
  /usr/include/c++/12/span

@@ -320,12 +320,11 @@ tests/CMakeFiles/fec_arq_test.dir/fec_arq_test.cpp.o: \
  /root/repo/src/net/node.h /root/repo/src/net/packet.h \
  /root/repo/src/util/time.h /root/repo/src/net/routing.h \
  /root/repo/src/sim/simulation.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.h \
- /root/repo/src/net/topology.h /root/repo/src/net/link.h \
- /root/repo/src/net/queue_disc.h /root/repo/src/net/router.h \
- /root/repo/src/pels/arq.h /root/repo/src/sim/timer.h \
- /root/repo/src/util/stats.h /usr/include/c++/12/span \
- /root/repo/src/queue/bernoulli.h /root/repo/src/queue/drop_tail.h \
+ /root/repo/src/util/rng.h /root/repo/src/net/topology.h \
+ /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
+ /root/repo/src/net/router.h /root/repo/src/pels/arq.h \
+ /root/repo/src/sim/timer.h /root/repo/src/util/stats.h \
+ /usr/include/c++/12/span /root/repo/src/queue/bernoulli.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/queue/drop_tail.h \
  /root/repo/src/video/fec.h

@@ -292,15 +292,13 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h /root/repo/src/cc/mkc.h \
+ /root/repo/src/cc/controller.h /root/repo/src/util/time.h \
  /root/repo/src/net/host.h /root/repo/src/net/node.h \
- /root/repo/src/net/packet.h /root/repo/src/util/time.h \
- /root/repo/src/net/routing.h /root/repo/src/net/link.h \
- /root/repo/src/net/queue_disc.h /root/repo/src/sim/simulation.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.h \
- /root/repo/src/net/router.h /root/repo/src/net/tcm.h \
- /root/repo/src/net/topology.h /root/repo/src/queue/drop_tail.h
+ /root/repo/src/net/packet.h /root/repo/src/net/routing.h \
+ /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
+ /root/repo/src/sim/simulation.h /root/repo/src/sim/scheduler.h \
+ /root/repo/src/util/rng.h /root/repo/src/net/router.h \
+ /root/repo/src/net/tcm.h /root/repo/src/net/topology.h \
+ /root/repo/src/queue/drop_tail.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -302,8 +302,6 @@ tests/CMakeFiles/pels_queue_test.dir/pels_queue_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/queue/wrr.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/timer.h \
- /root/repo/src/util/rng.h /root/repo/src/queue/pels_queue.h \
- /root/repo/src/queue/priority.h /root/repo/src/sim/simulation.h
+ /root/repo/src/sim/timer.h /root/repo/src/util/rng.h \
+ /root/repo/src/queue/pels_queue.h /root/repo/src/queue/priority.h \
+ /root/repo/src/sim/simulation.h

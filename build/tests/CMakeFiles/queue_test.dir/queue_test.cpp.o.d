@@ -299,6 +299,4 @@ tests/CMakeFiles/queue_test.dir/queue_test.cpp.o: \
  /root/repo/src/util/time.h /root/repo/src/util/rng.h \
  /root/repo/src/queue/drop_tail.h /root/repo/src/queue/priority.h \
  /root/repo/src/queue/red.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/queue/wrr.h
+ /root/repo/src/queue/wrr.h

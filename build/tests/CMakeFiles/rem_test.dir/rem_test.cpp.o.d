@@ -322,13 +322,12 @@ tests/CMakeFiles/rem_test.dir/rem_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/host.h \
  /root/repo/src/net/node.h /root/repo/src/net/packet.h \
  /root/repo/src/net/routing.h /root/repo/src/sim/simulation.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.h /root/repo/src/util/rng.h \
+ /root/repo/src/net/topology.h /root/repo/src/net/link.h \
+ /root/repo/src/net/queue_disc.h /root/repo/src/net/router.h \
+ /root/repo/src/queue/best_effort.h /root/repo/src/queue/drop_tail.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/rng.h /root/repo/src/net/topology.h \
- /root/repo/src/net/link.h /root/repo/src/net/queue_disc.h \
- /root/repo/src/net/router.h /root/repo/src/queue/best_effort.h \
- /root/repo/src/queue/drop_tail.h /root/repo/src/queue/feedback_meter.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/queue/feedback_meter.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

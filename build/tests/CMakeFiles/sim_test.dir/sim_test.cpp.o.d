@@ -293,10 +293,6 @@ tests/CMakeFiles/sim_test.dir/sim_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/time.h \
+ /root/repo/src/sim/scheduler.h /root/repo/src/util/time.h \
  /root/repo/src/sim/simulation.h /root/repo/src/util/rng.h \
  /root/repo/src/sim/timer.h

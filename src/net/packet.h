@@ -61,10 +61,24 @@ struct FeedbackLabel {
   double fgs_loss = 0.0;
   bool valid = false;
 
-  /// Router override rule: replace only if the candidate reports strictly
-  /// larger loss (most-congested-resource, max-min semantics) or if no valid
-  /// label is present yet.
+  /// Router override rule (see DESIGN.md §4 "feedback label override"):
+  ///   * same router as the stored label: always refresh (epoch, loss,
+  ///     fgs_loss) as long as the epoch is not older — a router may revise
+  ///     its own report *downward* when congestion clears. Comparing losses
+  ///     here would latch the highest value a router ever reported and keep
+  ///     senders reacting to congestion long after it is gone.
+  ///   * different router: replace only if the candidate reports strictly
+  ///     larger loss (most-congested-resource, max-min semantics).
+  ///   * no valid label yet: always stamp.
   void maybe_override(std::int32_t router, std::uint64_t z, double p, double p_fgs) {
+    if (valid && router == router_id) {
+      if (z >= epoch) {
+        epoch = z;
+        loss = p;
+        fgs_loss = p_fgs;
+      }
+      return;
+    }
     if (!valid || p > loss) {
       router_id = router;
       epoch = z;

@@ -98,7 +98,10 @@ void ArqSink::on_packet(const Packet& pkt) {
     for (SimTime t = sim_.now() + cfg_.nack_delay; t < deadline; t += cfg_.nack_delay) {
       sim_.at(t, [this, frame] { check_gaps(frame); });
     }
-    sim_.at(deadline + kMillisecond, [this, frame] {
+    // With a long one-way delay the first packet can arrive after its own
+    // deadline already passed; score the frame immediately in that case
+    // instead of scheduling into the past.
+    sim_.at(std::max(deadline + kMillisecond, sim_.now()), [this, frame] {
       auto it = frames_.find(frame);
       if (it == frames_.end()) return;
       score_frame(it->second);

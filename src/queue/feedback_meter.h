@@ -6,8 +6,10 @@
 // S accumulates the bytes of arriving video-class packets (demand, including
 // packets about to be dropped); p is clamped to [floor, ceiling] because
 // (R - C)/R diverges to -inf as R -> 0. The label (router id, z, p, p_fgs)
-// is stamped into departing packets, overriding an existing label only when
-// reporting larger loss (max-min semantics).
+// is stamped into departing packets: a label from a *different* router is
+// overridden only when reporting larger loss (max-min semantics), while this
+// router's own label is always refreshed to the current epoch so a cleared
+// bottleneck can revise its report downward (see FeedbackLabel).
 //
 // Two loss metrics are computed per epoch (feedback is queue-specific, §5.2):
 //   * aggregate loss  p     = (R - C) / R          -> drives MKC (eq. (8))
@@ -66,9 +68,15 @@ class FeedbackMeter {
     loss_ = smoothed_rate_ <= 0.0
                 ? loss_floor_
                 : std::clamp(overshoot / smoothed_rate_, loss_floor_, loss_ceiling_);
-    fgs_loss_ = smoothed_fgs_rate_ <= 0.0
-                    ? loss_floor_
-                    : std::clamp(overshoot / smoothed_fgs_rate_, loss_floor_, loss_ceiling_);
+    fgs_loss_estimate_ = smoothed_fgs_rate_ <= 0.0
+                             ? loss_floor_
+                             : std::clamp(overshoot / smoothed_fgs_rate_, loss_floor_,
+                                          loss_ceiling_);
+    // A sticky injection (set_fgs_loss(p, /*sticky=*/true)) survives closes
+    // until the next injection; a non-sticky one drives labels only for the
+    // epoch it was reported in and reverts to the estimate here. The
+    // estimate stays available via fgs_loss_estimate() either way.
+    if (!fgs_loss_sticky_) fgs_loss_ = fgs_loss_estimate_;
     ++epoch_;
     interval_bytes_ = 0;
     interval_fgs_bytes_ = 0;
@@ -89,10 +97,27 @@ class FeedbackMeter {
   /// integer drop counts over a longer window) instead of the noisy
   /// overshoot-over-FGS-demand estimate: the overshoot is a small difference
   /// of two large, quantization-noisy rates, and gamma driven by it hunts.
-  void set_fgs_loss(double p_fgs) { fgs_loss_ = p_fgs; }
+  ///
+  /// Ordering contract (tested in pels_queue_test): call this *after*
+  /// close_interval(). A non-sticky injection (the default) drives the
+  /// stamped labels for the epoch it was reported in and reverts to the
+  /// overshoot estimate at the next close_interval(); with sticky = true it
+  /// survives closes and is only replaced by the next injection. Sticky mode
+  /// pins gamma to pure drop-count feedback; the default preserves the
+  /// paper-figure dynamics, where the responsive fluid estimate steers gamma
+  /// between exact refreshes (see DESIGN.md §feedback).
+  void set_fgs_loss(double p_fgs, bool sticky = false) {
+    fgs_loss_ = p_fgs;
+    fgs_loss_sticky_ = sticky;
+  }
 
   double loss() const { return loss_; }
   double fgs_loss() const { return fgs_loss_; }
+  /// The rate-overshoot FGS loss estimate of the last interval, regardless
+  /// of whether an injected value currently drives fgs_loss().
+  double fgs_loss_estimate() const { return fgs_loss_estimate_; }
+  /// True while a sticky injection is holding the FGS loss channel.
+  bool fgs_loss_is_sticky() const { return fgs_loss_sticky_; }
   std::uint64_t epoch() const { return epoch_; }
   double capacity_bps() const { return capacity_bps_; }
   SimTime interval() const { return interval_; }
@@ -110,6 +135,8 @@ class FeedbackMeter {
   double smoothed_fgs_rate_ = 0.0;
   double loss_ = 0.0;
   double fgs_loss_ = 0.0;
+  double fgs_loss_estimate_ = 0.0;
+  bool fgs_loss_sticky_ = false;
   std::uint64_t epoch_ = 0;
 };
 

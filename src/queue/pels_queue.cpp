@@ -86,9 +86,13 @@ std::size_t PelsQueue::band_packet_count(std::size_t band) const {
 void PelsQueue::on_feedback_interval() {
   meter_.close_interval();
   // Every few intervals, refresh the gamma-facing FGS loss from exact drop
-  // counts: p_fgs = FGS drops / FGS arrivals over the window. Between
-  // refreshes the value holds steady, which the gamma map tolerates (its
-  // stability is delay-independent, Lemma 3).
+  // counts: p_fgs = FGS drops / FGS arrivals over the window. By default the
+  // injection drives the stamped labels for one epoch and the responsive
+  // overshoot estimate resumes until the next refresh — the dynamics the
+  // paper figures (and tier-1 convergence tests) are tuned to. With
+  // cfg_.sticky_fgs_loss the injected value instead holds until the next
+  // refresh, so gamma sees pure drop-count feedback (see DESIGN.md
+  // §feedback for the trade-off).
   if (++intervals_since_fgs_update_ < cfg_.fgs_loss_window_intervals) return;
   intervals_since_fgs_update_ = 0;
   const auto& c = counters();
@@ -100,11 +104,9 @@ void PelsQueue::on_feedback_interval() {
   const std::uint64_t d_drop = drops - fgs_drops_anchor_;
   fgs_arrivals_anchor_ = arrivals;
   fgs_drops_anchor_ = drops;
-  if (d_arr > 0) {
-    meter_.set_fgs_loss(static_cast<double>(d_drop) / static_cast<double>(d_arr));
-  } else {
-    meter_.set_fgs_loss(0.0);
-  }
+  const double p_fgs =
+      d_arr > 0 ? static_cast<double>(d_drop) / static_cast<double>(d_arr) : 0.0;
+  meter_.set_fgs_loss(p_fgs, cfg_.sticky_fgs_loss);
 }
 
 }  // namespace pels

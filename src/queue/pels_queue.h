@@ -14,8 +14,9 @@
 // (eq. (11)): every T time units it computes the PELS arrival rate R = S/T,
 // packet loss p = (R - C)/R against the PELS capacity share C, increments
 // its epoch z, and stamps the label (router id, z, p, p_fgs) into every
-// departing PELS-flow packet, overriding an existing label only when
-// reporting larger loss (max-min, most-congested-resource semantics). The
+// departing PELS-flow packet, overriding another router's label only when
+// reporting larger loss (max-min, most-congested-resource semantics) and
+// always refreshing its own earlier label (see FeedbackLabel). The
 // second metric p_fgs — the FGS-layer loss that drives the sender's gamma
 // controller — is refreshed from exact drop counts over a longer window
 // (see fgs_loss_window_intervals and DESIGN.md §4).
@@ -45,6 +46,13 @@ struct PelsQueueConfig {
   /// counts over this many feedback intervals (a longer window than T: drop
   /// counts per 30 ms are too quantized to steer gamma).
   int fgs_loss_window_intervals = 8;            // ~ 240 ms at T = 30 ms
+  /// When true, an injected drop-count FGS loss stays in force across
+  /// close_interval() calls until the next injection, so gamma is driven
+  /// purely by exact drop fractions. When false (default) the injection
+  /// drives the labels for one epoch and the responsive overshoot estimate
+  /// resumes in between — the dynamics the paper figures are tuned to
+  /// (see FeedbackMeter::set_fgs_loss and DESIGN.md §feedback).
+  bool sticky_fgs_loss = false;
   std::size_t green_limit = 100;  // packets; green demand never fills this
   /// Yellow sized to ~100 ms of PELS capacity: large enough to absorb frame
   /// pacing bursts, small enough that a transient backlog (gamma briefly too
@@ -123,7 +131,8 @@ class PelsQueue : public QueueDisc {
   FeedbackMeter meter_;
   PeriodicTimer feedback_timer_;
 
-  // Drop-count-based FGS loss measurement (see fgs_loss_window_intervals).
+  // Drop-count-based FGS loss measurement (see fgs_loss_window_intervals):
+  // arrival/drop counter anchors at the start of the current window.
   int intervals_since_fgs_update_ = 0;
   std::uint64_t fgs_arrivals_anchor_ = 0;
   std::uint64_t fgs_drops_anchor_ = 0;

@@ -1,6 +1,7 @@
 #include "queue/wrr.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace pels {
 
@@ -25,6 +26,7 @@ bool WrrQueue::enqueue(Packet pkt) {
   counters().count_arrival(pkt);
   const std::size_t idx = classify_(pkt);
   assert(idx < children_.size() && "classifier returned out-of-range child");
+  cache_valid_ = false;
   // The child counts its own arrival and reports any drop via the forwarding
   // handler installed above.
   return children_[idx].queue->enqueue(std::move(pkt));
@@ -57,16 +59,37 @@ std::size_t drr_select(const std::vector<WrrQueue::Child>& children, std::int64_
       deficit[current] -= head->size_bytes;
       return current;
     }
-    deficit[current] +=
-        static_cast<std::int64_t>(static_cast<double>(quantum) * children[current].weight);
+    // Round the per-round credit up and floor it at 1 byte: truncating
+    // quantum * weight to an integer would give a small-weight child zero
+    // credit per round and starve it forever.
+    const auto credit = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(quantum) * children[current].weight));
+    deficit[current] += std::max<std::int64_t>(credit, 1);
     current = (current + 1) % children.size();
   }
 }
 }  // namespace
 
+std::size_t WrrQueue::select() const {
+  if (cache_valid_) return cached_choice_;
+  // Run the selection on scratch state so committed state stays untouched
+  // until a dequeue commits it. assign() reuses the scratch capacity.
+  cached_deficit_.assign(deficit_.begin(), deficit_.end());
+  cached_current_ = current_;
+  cached_choice_ = drr_select(children_, quantum_bytes_, cached_deficit_, cached_current_);
+  cached_head_ =
+      cached_choice_ == npos ? nullptr : children_[cached_choice_].queue->peek();
+  cache_valid_ = true;
+  return cached_choice_;
+}
+
 std::optional<Packet> WrrQueue::dequeue() {
-  const std::size_t idx = drr_select(children_, quantum_bytes_, deficit_, current_);
+  const std::size_t idx = select();
   if (idx == npos) return std::nullopt;
+  // Commit the post-selection DRR state computed by select().
+  deficit_.swap(cached_deficit_);
+  current_ = cached_current_;
+  cache_valid_ = false;
   auto pkt = children_[idx].queue->dequeue();
   assert(pkt.has_value());
   counters().count_departure(*pkt);
@@ -74,12 +97,8 @@ std::optional<Packet> WrrQueue::dequeue() {
 }
 
 const Packet* WrrQueue::peek() const {
-  // Simulate selection on copies so peek stays side-effect free.
-  std::vector<std::int64_t> deficit = deficit_;
-  std::size_t current = current_;
-  const std::size_t idx = drr_select(children_, quantum_bytes_, deficit, current);
-  if (idx == npos) return nullptr;
-  return children_[idx].queue->peek();
+  select();
+  return cached_head_;
 }
 
 std::size_t WrrQueue::packet_count() const {

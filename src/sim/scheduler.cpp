@@ -1,50 +1,88 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pels {
 
-EventId Scheduler::schedule_at(SimTime t, Callback fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  assert(fn && "callback must be callable");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+void Scheduler::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
-bool Scheduler::cancel(EventId id) {
-  // Erasing from live_ is the cancellation; the stale heap entry is skipped
-  // when it reaches the top. Ids of executed events are no longer live, so
-  // cancelling them is a harmless no-op.
-  return live_.erase(id) != 0;
+void Scheduler::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (later(heap_[best], heap_[c])) best = c;
+    if (!later(e, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+Scheduler::Entry Scheduler::pop_top() {
+  const Entry e = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return e;
+}
+
+Scheduler::Callback Scheduler::take_callback(const Entry& e) {
+  Slot& s = slots_[e.slot];
+  // No need to null s.fn: schedule_at overwrites it when the slot is reused.
+  Callback fn = std::move(s.fn);
+  if (++s.gen == 0) s.gen = 1;
+  free_slots_.push_back(e.slot);
+  --pending_;
+  return fn;
 }
 
 bool Scheduler::step() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; move the entry out before popping so
-    // the callback survives the pop.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(e.id) == 0) continue;  // cancelled: skip stale entry
+    const Entry e = pop_top();
+    if (slots_[e.slot].gen != e.gen) {  // cancelled: skip stale entry
+      ++stale_skipped_;
+      continue;
+    }
+    Callback fn = take_callback(e);
     now_ = e.t;
     ++executed_;
-    e.fn();
+    fn();
     return true;
   }
   return false;
 }
 
 void Scheduler::run_until(SimTime t_end) {
+  // Fast path: each entry's generation is checked exactly once, and stale
+  // entries are dropped without advancing time.
   while (!heap_.empty()) {
-    // Drop cancelled entries from the top without advancing time.
-    const Entry& top = heap_.top();
-    if (live_.count(top.id) == 0) {
-      heap_.pop();
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].gen != top.gen) {
+      pop_top();
+      ++stale_skipped_;
       continue;
     }
     if (top.t > t_end) break;
-    step();
+    const Entry e = pop_top();
+    Callback fn = take_callback(e);
+    now_ = e.t;
+    ++executed_;
+    fn();
   }
   if (now_ < t_end) now_ = t_end;
 }

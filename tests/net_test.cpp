@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "cc/mkc.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/packet.h"
@@ -62,6 +63,71 @@ TEST(FeedbackLabelTest, OverridesOnlyWithLargerLoss) {
   label.maybe_override(2, 10, 0.20, 0.25);  // more congested: wins
   EXPECT_EQ(label.router_id, 2);
   EXPECT_DOUBLE_EQ(label.loss, 0.20);
+}
+
+TEST(FeedbackLabelTest, SameRouterRefreshesDownward) {
+  // Regression: a router must be able to revise its *own* label downward
+  // when its congestion clears. The old code applied the max-min `p > loss`
+  // rule to the stamping router itself, latching the highest loss it ever
+  // reported.
+  FeedbackLabel label;
+  label.maybe_override(1, 5, 0.50, 0.60);
+  label.maybe_override(1, 6, -0.30, -0.25);  // bottleneck cleared
+  EXPECT_EQ(label.router_id, 1);
+  EXPECT_EQ(label.epoch, 6u);
+  EXPECT_DOUBLE_EQ(label.loss, -0.30);
+  EXPECT_DOUBLE_EQ(label.fgs_loss, -0.25);
+}
+
+TEST(FeedbackLabelTest, SameRouterIgnoresStaleEpoch) {
+  // A reordered packet may carry an older same-router report; it must not
+  // roll the label back in time.
+  FeedbackLabel label;
+  label.maybe_override(1, 8, 0.10, 0.12);
+  label.maybe_override(1, 6, 0.90, 0.95);  // stale epoch: ignored
+  EXPECT_EQ(label.epoch, 8u);
+  EXPECT_DOUBLE_EQ(label.loss, 0.10);
+  label.maybe_override(1, 8, 0.30, 0.35);  // same epoch: refresh is fine
+  EXPECT_DOUBLE_EQ(label.loss, 0.30);
+}
+
+TEST(FeedbackLabelTest, CrossRouterMaxMinUnaffectedByRefreshRule) {
+  // The same-router refresh must not weaken max-min semantics across
+  // routers: a *different* router still needs strictly larger loss to win.
+  FeedbackLabel label;
+  label.maybe_override(1, 5, 0.40, 0.45);
+  label.maybe_override(2, 50, 0.40, 0.45);  // equal loss: stored label kept
+  EXPECT_EQ(label.router_id, 1);
+  label.maybe_override(2, 51, 0.10, 0.15);  // smaller: kept
+  EXPECT_EQ(label.router_id, 1);
+  // Router 1 revises down, and now router 2's report can take over.
+  label.maybe_override(1, 6, 0.05, 0.06);
+  label.maybe_override(2, 52, 0.10, 0.15);
+  EXPECT_EQ(label.router_id, 2);
+  EXPECT_DOUBLE_EQ(label.loss, 0.10);
+}
+
+TEST(FeedbackLabelTest, SenderRateRecoversAfterBottleneckClears) {
+  // End-to-end regression for the stale-label bug: drive an MKC controller
+  // from one persistent label. While the router reports congestion the rate
+  // collapses; once the same router reports a cleared bottleneck (negative
+  // loss in fresh epochs) the rate must ramp back up. With the latched
+  // label the controller kept seeing p = 0.5 forever and stayed pinned.
+  MkcController mkc(MkcConfig{});
+  FeedbackLabel label;
+  std::uint64_t z = 1;
+  for (int i = 0; i < 50; ++i) {
+    label.maybe_override(7, z++, 0.5, 0.5);
+    mkc.on_router_feedback(label.loss, 0);
+  }
+  const double congested_rate = mkc.rate_bps();
+  EXPECT_LT(congested_rate, mkc.config().initial_rate_bps);
+  for (int i = 0; i < 50; ++i) {
+    label.maybe_override(7, z++, -0.5, -0.5);
+    mkc.on_router_feedback(label.loss, 0);
+  }
+  EXPECT_DOUBLE_EQ(label.loss, -0.5);
+  EXPECT_GT(mkc.rate_bps(), 10.0 * congested_rate);
 }
 
 // ------------------------------------------------------------------ Link

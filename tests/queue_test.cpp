@@ -419,6 +419,75 @@ TEST(WrrTest, EmptyQueueReturnsNothing) {
   EXPECT_EQ(q->byte_count(), 0);
 }
 
+TEST(WrrTest, FractionalWeightChildIsNotStarved) {
+  // Regression: with quantum 5 and weight 0.1 the per-round credit
+  // quantum * weight = 0.5 truncated to int64 is 0, so the child never
+  // accumulated enough deficit to send and drr_select spun forever. The
+  // credit is now rounded up and floored at 1 byte per round.
+  std::vector<WrrQueue::Child> children;
+  children.push_back({std::make_unique<DropTailQueue>(100), 1.0});
+  children.push_back({std::make_unique<DropTailQueue>(100), 0.1});
+  WrrQueue q(std::move(children),
+             [](const Packet& p) { return p.color == Color::kInternet ? std::size_t{1} : 0; },
+             5);
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(make_packet(4, Color::kGreen));
+    q.enqueue(make_packet(4, Color::kInternet));
+  }
+  int internet_served = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());  // would hang/starve before the fix
+    if (p->color == Color::kInternet) ++internet_served;
+  }
+  EXPECT_EQ(internet_served, 10);
+}
+
+TEST(WrrTest, PeekMatchesDequeueAcrossInterleavedEnqueues) {
+  // The memoized selection must be invalidated by every enqueue: a new
+  // arrival can change which child drr_select picks (e.g. wake an empty
+  // child whose turn it is).
+  auto q = make_wrr(1.0, 1.0);
+  std::uint64_t seq = 0;
+  q->enqueue(make_packet(500, Color::kGreen, seq++));
+  for (int i = 0; i < 50; ++i) {
+    const Packet* head = q->peek();
+    ASSERT_NE(head, nullptr);
+    q->enqueue(make_packet(500, i % 2 ? Color::kGreen : Color::kInternet, seq++));
+    // The enqueue may have changed the selection; peek must agree with the
+    // dequeue that follows it, not with the pre-enqueue snapshot.
+    const Packet* fresh = q->peek();
+    ASSERT_NE(fresh, nullptr);
+    const std::uint64_t expect = fresh->seq;
+    EXPECT_EQ(q->dequeue()->seq, expect);
+  }
+}
+
+TEST(WrrTest, PeekTracksPriorityChildHeadChange) {
+  // A StrictPriorityQueue child's head can change on enqueue (a green
+  // arrival preempts a queued red packet). The cached head pointer must not
+  // survive that.
+  std::vector<WrrQueue::Child> children;
+  children.push_back({std::make_unique<StrictPriorityQueue>(
+                          std::vector<std::size_t>{10, 10, 10},
+                          &StrictPriorityQueue::classify_by_color),
+                      1.0});
+  children.push_back({std::make_unique<DropTailQueue>(10), 1.0});
+  WrrQueue q(std::move(children),
+             [](const Packet& p) { return p.color == Color::kInternet ? std::size_t{1} : 0; },
+             1000);
+  q.enqueue(make_packet(500, Color::kRed, 1));
+  const Packet* before = q.peek();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->seq, 1u);
+  q.enqueue(make_packet(500, Color::kGreen, 2));  // jumps ahead of red
+  const Packet* after = q.peek();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->seq, 2u);
+  EXPECT_EQ(q.dequeue()->seq, 2u);
+  EXPECT_EQ(q.dequeue()->seq, 1u);
+}
+
 TEST(WrrTest, ChildAccessors) {
   auto q = make_wrr(2.0, 1.0);
   EXPECT_EQ(q->child_count(), 2u);

@@ -158,6 +158,109 @@ TEST(SchedulerTest, ManyEventsStressOrdering) {
   EXPECT_EQ(s.executed(), 10000u);
 }
 
+TEST(SchedulerTest, StaleIdCannotCancelEventReusingSlot) {
+  // After an event is cancelled or executed, its slot is recycled for the
+  // next schedule_at. The old EventId must not cancel the new occupant.
+  Scheduler s;
+  const EventId a = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(a));
+  bool ran = false;
+  const EventId b = s.schedule_at(20, [&] { ran = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.cancel(a));  // stale id, even though the slot was reused
+  s.run();
+  EXPECT_TRUE(ran);
+
+  // Same for an *executed* event's id.
+  EXPECT_FALSE(s.cancel(b));
+  bool ran2 = false;
+  const EventId c = s.schedule_at(30, [&] { ran2 = true; });
+  EXPECT_FALSE(s.cancel(b));
+  s.run();
+  EXPECT_TRUE(ran2);
+  EXPECT_TRUE(s.cancel(c) == false);  // c already executed
+}
+
+TEST(SchedulerTest, CancelSameTimeEventFromCallback) {
+  // An event may cancel a later event scheduled at the very same time; the
+  // victim must not fire even though it is already near the heap top.
+  Scheduler s;
+  std::vector<int> order;
+  EventId victim = 0;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(s.cancel(victim));
+  });
+  victim = s.schedule_at(10, [&] { order.push_back(2); });
+  s.schedule_at(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SchedulerTest, FifoTiesSurviveInterleavedCancels) {
+  // Cancel every other event at one time; survivors keep insertion order.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(s.schedule_at(5, [&order, i] { order.push_back(i); }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(s.cancel(ids[i]));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SchedulerTest, StatsCountersTrackLifecycle) {
+  Scheduler s;
+  const EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  s.schedule_at(30, [] {});
+  s.cancel(a);
+  auto st = s.stats();
+  EXPECT_EQ(st.scheduled, 3u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.executed, 0u);
+  EXPECT_EQ(st.pending, 2u);
+  EXPECT_EQ(st.heap_size, 3u);  // the cancelled entry is still in the heap
+  s.run();
+  st = s.stats();
+  EXPECT_EQ(st.executed, 2u);
+  EXPECT_EQ(st.stale_skipped, 1u);
+  EXPECT_EQ(st.pending, 0u);
+  EXPECT_EQ(st.heap_size, 0u);
+}
+
+TEST(SchedulerTest, RunUntilExecutesEventScheduledAtBoundaryFromCallback) {
+  // A callback firing exactly at t_end schedules another event at t_end;
+  // run_until must execute it too (events at exactly t_end are inclusive).
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] {
+    order.push_back(1);
+    s.schedule_at(30, [&] { order.push_back(2); });
+    s.schedule_at(31, [&] { order.push_back(3); });
+  });
+  s.run_until(30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.pending(), 1u);  // the t=31 event remains
+}
+
+TEST(SchedulerTest, SlotPoolRecyclesUnderChurn) {
+  // A rolling window of cancel+reschedule must not grow the slot pool
+  // beyond the window size (plus slack), proving slots are recycled.
+  Scheduler s;
+  std::vector<EventId> window;
+  for (int i = 0; i < 64; ++i) window.push_back(s.schedule_at(i + 1000, [] {}));
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t k = static_cast<std::size_t>(round) % window.size();
+    EXPECT_TRUE(s.cancel(window[k]));
+    window[k] = s.schedule_at(2000 + round, [] {});
+  }
+  EXPECT_LE(s.stats().slots, 2 * window.size());
+  s.run();
+  EXPECT_EQ(s.stats().executed, 64u);
+}
+
 // ---------------------------------------------------------- PeriodicTimer
 
 TEST(PeriodicTimerTest, FiresAtPeriodMultiples) {

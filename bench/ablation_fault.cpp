@@ -1,0 +1,125 @@
+// Fault ablation: the failure model and the degradation policy, end to end.
+//
+// One fault class at a time against the same 2-flow / 3-TCP dumbbell:
+//
+//   baseline        no faults
+//   ack blackout    5 s total ACK loss on the reverse bottleneck wire
+//   router restart  feedback meter reboots (epoch back to 1) at t = 20 s
+//   link flap       forward wire hard-down for 2 s
+//   brown-out       forward wire at half rate for 15 s
+//   GE bursts       Gilbert–Elliott burst corruption (~2.4% stationary)
+//
+// Columns show what each fault may and may not damage: the feedback-silence
+// watchdog trades throughput (min rate during the outage) for safety; green
+// loss must stay ~0 for every fault that leaves the forward wire up; the
+// post-fault rate must return to the stationary point C/N + alpha/beta.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cc/mkc.h"
+#include "pels/scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+constexpr SimTime kDuration = 50 * kSecond;
+
+struct Result {
+  double rate_during;   // mean rate in the fault window [20, 35] s
+  double rate_after;    // mean rate in [45, 50] s
+  double green_loss;    // mean green loss rate over [10, 50] s
+  double utility;
+  std::uint64_t silence_ticks;
+};
+
+Result run(const FaultPlan& faults) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = 3;
+  cfg.seed = 17;
+  cfg.faults = faults;
+  DumbbellScenario s(cfg);
+  s.run_until(kDuration);
+  s.finish();
+  Result out{};
+  out.rate_during = s.source(0).rate_series().mean_in(20 * kSecond, 35 * kSecond);
+  out.rate_after = s.source(0).rate_series().mean_in(45 * kSecond, kDuration);
+  out.green_loss = s.loss_series(Color::kGreen).mean_in(10 * kSecond, kDuration);
+  out.utility = s.sink(0).mean_utility();
+  out.silence_ticks = s.source(0).silent_intervals();
+  return out;
+}
+
+FaultPlan ack_blackout() {
+  FaultPlan p;
+  p.ack_blackouts.push_back({20 * kSecond, 25 * kSecond});
+  return p;
+}
+
+FaultPlan router_restart() {
+  FaultPlan p;
+  p.router_restarts.push_back({20 * kSecond});
+  return p;
+}
+
+FaultPlan link_flap() {
+  FaultPlan p;
+  p.link_flaps.push_back({20 * kSecond, 22 * kSecond});
+  return p;
+}
+
+FaultPlan brownout() {
+  FaultPlan p;
+  p.brownouts.push_back({20 * kSecond, 35 * kSecond, 0.5});
+  return p;
+}
+
+FaultPlan ge_bursts() {
+  FaultPlan p;
+  GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.01;
+  ge.p_bad_to_good = 0.20;
+  ge.loss_bad = 0.5;
+  p.burst_corruption = ge;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Fault ablation: scripted failures vs degradation policy, "
+               "2 flows + 3 TCP, 50 s");
+  const std::vector<std::pair<std::string, FaultPlan>> cases = {
+      {"baseline", FaultPlan{}},          {"ack blackout 5s", ack_blackout()},
+      {"router restart", router_restart()}, {"link flap 2s", link_flap()},
+      {"brown-out 50%", brownout()},      {"GE bursts 2.4%", ge_bursts()},
+  };
+  TablePrinter table({"fault", "rate 20-35s (kb/s)", "rate 45-50s (kb/s)",
+                      "green loss", "utility", "silent ticks"});
+  for (const auto& [name, plan] : cases) {
+    const Result r = run(plan);
+    table.add_row({name, TablePrinter::fmt(r.rate_during / 1e3, 0),
+                   TablePrinter::fmt(r.rate_after / 1e3, 0),
+                   TablePrinter::fmt(r.green_loss, 6),
+                   TablePrinter::fmt(r.utility, 3),
+                   std::to_string(r.silence_ticks)});
+  }
+  table.print(std::cout);
+  const ScenarioConfig ref;
+  std::cout << "\nExpected: every faulted run returns to the stationary rate ("
+            << TablePrinter::fmt(
+                   MkcController::stationary_rate(2e6, 2, ref.mkc) / 1e3, 0)
+            << " kb/s) once the fault clears. The ACK blackout and link flap\n"
+            << "show silent ticks (the watchdog decaying the rate instead of\n"
+            << "driving an open loop); the restart shows none (labels resume\n"
+            << "within one epoch thanks to the restart-tolerant filter). Green\n"
+            << "loss stays ~0 except for the flap, whose carrier loss no AQM\n"
+            << "can prevent. GE bursts leave the rate untouched (non-congestive\n"
+            << "loss is invisible to demand-based feedback) but cost utility.\n";
+  return 0;
+}

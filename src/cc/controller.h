@@ -23,6 +23,15 @@ class CongestionController {
   /// router epoch is delivered at most once (§5.2 freshness rule).
   virtual void on_router_feedback(double p, SimTime now) = 0;
 
+  /// Feedback-staleness watchdog tick: the source has seen no fresh router
+  /// label for its configured timeout (ACK-path blackout, dead bottleneck,
+  /// restarted router). Called once per control interval while the silence
+  /// lasts. Controllers that steer by router feedback should decay their
+  /// rate (an open control loop must not hold, let alone grow, its claim on
+  /// a path it cannot observe — SCReAM's loss-of-feedback rule). Default:
+  /// ignored, for controllers driven by receiver measurements instead.
+  virtual void on_feedback_silence(SimTime now) { (void)now; }
+
   /// Receiver-measured loss fraction over the last control interval, in
   /// [0, 1]. Default: ignored (router-driven controllers).
   virtual void on_loss_interval(double p, SimTime now) {

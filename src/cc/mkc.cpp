@@ -16,10 +16,26 @@ void MkcController::on_router_feedback(double p, SimTime /*now*/) {
   // Eq. (8). p < 0 (underutilization) makes the multiplicative term positive,
   // producing the exponential ramp toward capacity; p > 0 produces the
   // proportional back-off.
+  double growth_cap = cfg_.max_growth_factor;
+  if (silent_) {
+    silent_ = false;
+    recovery_left_ = cfg_.recovery_updates;
+  }
+  if (recovery_left_ > 0) {
+    growth_cap = std::min(growth_cap, cfg_.recovery_growth_factor);
+    --recovery_left_;
+  }
   double next = rate_ + cfg_.alpha_bps - cfg_.beta * rate_ * p;
-  next = std::min(next, rate_ * cfg_.max_growth_factor);
+  next = std::min(next, rate_ * growth_cap);
   rate_ = std::clamp(next, cfg_.min_rate_bps, cfg_.max_rate_bps);
   ++updates_;
+}
+
+void MkcController::on_feedback_silence(SimTime /*now*/) {
+  silent_ = true;
+  ++silence_ticks_;
+  const double floor = std::max(cfg_.min_rate_bps, cfg_.silence_floor_bps);
+  rate_ = std::max(std::min(rate_, floor), rate_ * cfg_.silence_decay);
 }
 
 }  // namespace pels

@@ -26,6 +26,22 @@ struct MkcConfig {
   /// feedback catches up. Doubling per epoch still claims an idle link
   /// exponentially (128 kb/s -> 2 mb/s in four epochs, the paper's "~0.1 s").
   double max_growth_factor = 2.0;
+
+  // --- feedback-silence degradation (on_feedback_silence) ---------------
+  /// Multiplicative rate cut per silent control tick while the source's
+  /// feedback watchdog fires. Eq. (8) is an open loop without p: holding the
+  /// last rate congests a path whose capacity may have collapsed unseen.
+  double silence_decay = 0.85;
+  /// The decay stops at this floor (not min_rate_bps): enough to keep the
+  /// base layer and the feedback path itself alive, so recovery is observed
+  /// the moment labels flow again.
+  double silence_floor_bps = 64e3;
+  /// Re-probe after silence ends: for the first recovery_updates feedback
+  /// updates the growth cap tightens to this factor. The first labels after
+  /// an outage describe a path whose state (capacity, competing flows) the
+  /// controller no longer knows; jumping back at full ramp overshoots it.
+  double recovery_growth_factor = 1.5;
+  int recovery_updates = 8;
 };
 
 class MkcController : public CongestionController {
@@ -34,10 +50,15 @@ class MkcController : public CongestionController {
 
   double rate_bps() const override { return rate_; }
   void on_router_feedback(double p, SimTime now) override;
+  void on_feedback_silence(SimTime now) override;
   const char* name() const override { return "MKC"; }
 
   /// Number of feedback updates applied (one per fresh epoch).
   std::uint64_t updates() const { return updates_; }
+  /// Number of silence ticks absorbed (rate decays applied).
+  std::uint64_t silence_ticks() const { return silence_ticks_; }
+  /// True between a silence tick and the next fresh feedback.
+  bool in_silence() const { return silent_; }
 
   const MkcConfig& config() const { return cfg_; }
 
@@ -50,6 +71,9 @@ class MkcController : public CongestionController {
   MkcConfig cfg_;
   double rate_;
   std::uint64_t updates_ = 0;
+  std::uint64_t silence_ticks_ = 0;
+  bool silent_ = false;
+  int recovery_left_ = 0;
 };
 
 }  // namespace pels

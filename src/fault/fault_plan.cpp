@@ -1,0 +1,97 @@
+#include "fault/fault_plan.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "net/link.h"
+#include "queue/pels_queue.h"
+
+namespace pels {
+
+namespace {
+
+void check_window(SimTime at, SimTime until, const char* what) {
+  if (at < 0 || until <= at) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " window needs 0 <= at < until");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  for (const LinkFlap& f : link_flaps) check_window(f.down_at, f.up_at, "link-flap");
+  for (const Brownout& b : brownouts) {
+    check_window(b.at, b.until, "brown-out");
+    if (!(b.factor > 0.0 && b.factor <= 1.0)) {
+      throw std::invalid_argument("FaultPlan: brown-out factor must be in (0, 1]");
+    }
+  }
+  for (const RouterRestart& r : router_restarts) {
+    if (r.at < 0) throw std::invalid_argument("FaultPlan: restart time must be >= 0");
+  }
+  for (const Window& w : ack_blackouts) check_window(w.at, w.until, "ACK-blackout");
+  if (burst_corruption) burst_corruption->validate();
+}
+
+void FaultInjector::inject_flap(Link& link, FaultPlan::LinkFlap flap) {
+  Link* l = &link;
+  sim_.at(flap.down_at, [l] { l->set_up(false); });
+  sim_.at(flap.up_at, [l] { l->set_up(true); });
+}
+
+void FaultInjector::inject_brownout(Link& link, FaultPlan::Brownout brownout,
+                                    BandwidthHook on_change) {
+  Link* l = &link;
+  Simulation* sim = &sim_;
+  sim_.at(brownout.at, [l, sim, brownout, on_change = std::move(on_change)] {
+    // Capture the rate at the window edge (not at plan time): an earlier
+    // capacity change or overlapping fault must be restored, not overwritten.
+    const double prior = l->bandwidth_bps();
+    const double degraded = prior * brownout.factor;
+    l->set_bandwidth_bps(degraded);
+    if (on_change) on_change(degraded);
+    sim->at(brownout.until, [l, prior, on_change] {
+      l->set_bandwidth_bps(prior);
+      if (on_change) on_change(prior);
+    });
+  });
+}
+
+void FaultInjector::inject_restart(PelsQueue& queue, FaultPlan::RouterRestart restart) {
+  PelsQueue* q = &queue;
+  sim_.at(restart.at, [q] { q->restart(); });
+}
+
+void FaultInjector::inject_blackouts(Link& reverse,
+                                     const std::vector<FaultPlan::Window>& windows) {
+  if (windows.empty()) return;
+  std::vector<BlackoutLoss::Window> spans;
+  spans.reserve(windows.size());
+  for (const FaultPlan::Window& w : windows) spans.push_back({w.at, w.until});
+  reverse.add_corruption(BlackoutLoss(std::move(spans)));
+}
+
+void FaultInjector::inject_burst_corruption(Link& link, GilbertElliottConfig config,
+                                            Rng rng) {
+  link.add_corruption(GilbertElliottLoss(config, rng));
+}
+
+void FaultInjector::apply(const FaultPlan& plan, Link& forward, Link& reverse,
+                          PelsQueue* queue, BandwidthHook on_bandwidth_change) {
+  assert(queue != nullptr || plan.router_restarts.empty());
+  for (const FaultPlan::LinkFlap& f : plan.link_flaps) inject_flap(forward, f);
+  for (const FaultPlan::Brownout& b : plan.brownouts)
+    inject_brownout(forward, b, on_bandwidth_change);
+  for (const FaultPlan::RouterRestart& r : plan.router_restarts)
+    inject_restart(*queue, r);
+  inject_blackouts(reverse, plan.ack_blackouts);
+  if (plan.burst_corruption) {
+    // Stream id fixed so the corruption pattern depends only on the master
+    // seed and the plan, never on wiring order.
+    inject_burst_corruption(forward, *plan.burst_corruption, sim_.make_rng(0x6E11));
+  }
+}
+
+}  // namespace pels

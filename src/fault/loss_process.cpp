@@ -1,0 +1,37 @@
+#include "fault/loss_process.h"
+
+#include <stdexcept>
+
+namespace pels {
+
+void GilbertElliottConfig::validate() const {
+  if (!(p_good_to_bad > 0.0 && p_good_to_bad <= 1.0) ||
+      !(p_bad_to_good > 0.0 && p_bad_to_good <= 1.0)) {
+    throw std::invalid_argument(
+        "GilbertElliottConfig: transition probabilities must be in (0, 1]");
+  }
+  if (loss_good < 0.0 || loss_good > 1.0 || loss_bad < 0.0 || loss_bad > 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottConfig: per-state loss probabilities must be in [0, 1]");
+  }
+}
+
+bool GilbertElliottLoss::lost(SimTime /*now*/) {
+  const bool corrupted =
+      rng_.bernoulli(bad_ ? cfg_.loss_bad : cfg_.loss_good);
+  if (bad_) {
+    if (rng_.bernoulli(cfg_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(cfg_.p_good_to_bad)) bad_ = true;
+  }
+  return corrupted;
+}
+
+bool BlackoutLoss::lost(SimTime now) const {
+  for (const Window& w : windows_) {
+    if (now >= w.at && now < w.until) return true;
+  }
+  return false;
+}
+
+}  // namespace pels

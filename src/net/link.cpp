@@ -18,12 +18,13 @@ Link::Link(Simulation& sim, Node& dst, double bandwidth_bps, SimTime prop_delay,
 
 bool Link::send(Packet pkt) {
   const bool accepted = queue_->enqueue(std::move(pkt));
-  if (accepted && !busy_) try_transmit();
+  if (accepted && !busy_ && up_) try_transmit();
   return accepted;
 }
 
 void Link::try_transmit() {
   assert(!busy_);
+  if (!up_) return;
   auto pkt = queue_->dequeue();
   if (!pkt) return;
   busy_ = true;
@@ -36,8 +37,9 @@ void Link::on_transmit_done(Packet pkt) {
   // Serialization finished: the wire is free for the next packet while this
   // one propagates.
   busy_ = false;
-  if (corruption_prob_ > 0.0 && corruption_rng_.bernoulli(corruption_prob_)) {
-    // Corrupted on the wire: link time was spent, nothing arrives.
+  if (!up_ || corrupted_on_wire(sim_.now())) {
+    // Corrupted (or the carrier dropped mid-serialization): link time was
+    // spent, nothing arrives.
     ++corrupted_;
     try_transmit();
     return;
@@ -48,10 +50,28 @@ void Link::on_transmit_done(Packet pkt) {
   try_transmit();
 }
 
+bool Link::corrupted_on_wire(SimTime now) {
+  // Evaluate every process (no short-circuit): stateful chains must see
+  // every packet to evolve their state deterministically.
+  bool lost = false;
+  for (CorruptionProcess& p : corruption_) lost = p(now) || lost;
+  return lost;
+}
+
 void Link::set_corruption(double prob, Rng rng) {
   assert(prob >= 0.0 && prob < 1.0);
-  corruption_prob_ = prob;
-  corruption_rng_ = rng;
+  add_corruption([prob, rng](SimTime) mutable { return rng.bernoulli(prob); });
+}
+
+void Link::add_corruption(CorruptionProcess process) {
+  assert(process != nullptr);
+  corruption_.push_back(std::move(process));
+}
+
+void Link::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (up_ && !busy_) try_transmit();
 }
 
 void Link::set_bandwidth_bps(double bandwidth_bps) {

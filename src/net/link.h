@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "net/node.h"
 #include "net/packet.h"
@@ -54,7 +55,24 @@ class Link {
   /// congestion control (bench/ablation_wireless).
   void set_corruption(double prob, Rng rng);
 
+  /// Per-packet corruption decision, consulted once per serialized packet.
+  using CorruptionProcess = std::function<bool(SimTime now)>;
+
+  /// Adds a corruption process alongside any existing ones (a packet is lost
+  /// when *any* process says so). Every process sees every packet, so
+  /// stateful models (Gilbert–Elliott chains, blackout windows — see
+  /// src/fault/loss_process.h) evolve deterministically regardless of what
+  /// the other processes decide.
+  void add_corruption(CorruptionProcess process);
+
   std::uint64_t packets_corrupted() const { return corrupted_; }
+
+  /// Takes the link down / brings it back up (fault injection). While down,
+  /// nothing serializes: the queue keeps accepting (and eventually
+  /// tail-dropping) packets, and the packet on the wire at down-time is
+  /// lost — carrier loss does not wait for frame boundaries.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
 
   /// Fraction of elapsed time the link spent transmitting since creation.
   double utilization() const;
@@ -65,6 +83,7 @@ class Link {
  private:
   void try_transmit();
   void on_transmit_done(Packet pkt);
+  bool corrupted_on_wire(SimTime now);
 
   Simulation& sim_;
   Node& dst_;
@@ -72,11 +91,11 @@ class Link {
   SimTime prop_delay_;
   std::unique_ptr<QueueDisc> queue_;
   bool busy_ = false;
+  bool up_ = true;
   SimTime busy_time_ = 0;  // cumulative serialization time
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
-  double corruption_prob_ = 0.0;
-  Rng corruption_rng_{0};
+  std::vector<CorruptionProcess> corruption_;
   std::uint64_t corrupted_ = 0;
 };
 

@@ -48,6 +48,22 @@ constexpr bool is_pels_color(Color c) {
 /// Human-readable colour name (for traces and tables).
 const char* color_name(Color c);
 
+/// Largest backward epoch jump attributable to in-network reordering. A
+/// label can only be stale by as long as its packet sat in a queue — red-band
+/// residence tops out at a few seconds, i.e. ~100 feedback intervals at
+/// T = 30 ms. A same-router epoch that jumps backward by *more* than this is
+/// not a reordered stale label but a restarted router counting from 1 again;
+/// consumers must accept it or they stay deaf to the reborn router forever
+/// (see FeedbackLabel::maybe_override and PelsSource's freshness filter).
+inline constexpr std::uint64_t kEpochRestartGap = 128;
+
+/// Same-router epoch freshness: `z` is fresh against the last-seen epoch
+/// `seen` when it advances, or when it jumped backward so far that only a
+/// router restart explains it.
+constexpr bool epoch_is_fresh(std::uint64_t seen, std::uint64_t z) {
+  return z > seen || seen > z + kEpochRestartGap;
+}
+
 /// In-band congestion feedback stamped by PELS routers into every passing
 /// packet (paper §5.2): label (router ID, z, p(k)).
 struct FeedbackLabel {
@@ -62,17 +78,19 @@ struct FeedbackLabel {
   bool valid = false;
 
   /// Router override rule (see DESIGN.md §4 "feedback label override"):
-  ///   * same router as the stored label: always refresh (epoch, loss,
-  ///     fgs_loss) as long as the epoch is not older — a router may revise
-  ///     its own report *downward* when congestion clears. Comparing losses
-  ///     here would latch the highest value a router ever reported and keep
-  ///     senders reacting to congestion long after it is gone.
+  ///   * same router as the stored label: refresh (epoch, loss, fgs_loss)
+  ///     when the epoch is not older — a router may revise its own report
+  ///     *downward* when congestion clears. Comparing losses here would
+  ///     latch the highest value a router ever reported and keep senders
+  ///     reacting to congestion long after it is gone. A backward jump
+  ///     larger than kEpochRestartGap is a router restart (epochs count from
+  ///     1 again), not a stale label, and also refreshes.
   ///   * different router: replace only if the candidate reports strictly
   ///     larger loss (most-congested-resource, max-min semantics).
   ///   * no valid label yet: always stamp.
   void maybe_override(std::int32_t router, std::uint64_t z, double p, double p_fgs) {
     if (valid && router == router_id) {
-      if (z >= epoch) {
+      if (z >= epoch || epoch_is_fresh(epoch, z)) {
         epoch = z;
         loss = p;
         fgs_loss = p_fgs;

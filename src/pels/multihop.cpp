@@ -28,12 +28,25 @@ ParkingLotScenario::ParkingLotScenario(ParkingLotConfig config)
     };
   };
 
-  topo_.add_link(r1, r2, cfg_.bottleneck1_bps, cfg_.bottleneck_delay,
-                 bottleneck_factory(kRouter1, &queue1_));
-  topo_.add_link(r2, r1, cfg_.bottleneck1_bps, cfg_.bottleneck_delay, edge_queue);
-  topo_.add_link(r2, r3, cfg_.bottleneck2_bps, cfg_.bottleneck_delay,
-                 bottleneck_factory(kRouter2, &queue2_));
-  topo_.add_link(r3, r2, cfg_.bottleneck2_bps, cfg_.bottleneck_delay, edge_queue);
+  Link& fwd1 = topo_.add_link(r1, r2, cfg_.bottleneck1_bps, cfg_.bottleneck_delay,
+                              bottleneck_factory(kRouter1, &queue1_));
+  Link& rev1 =
+      topo_.add_link(r2, r1, cfg_.bottleneck1_bps, cfg_.bottleneck_delay, edge_queue);
+  Link& fwd2 = topo_.add_link(r2, r3, cfg_.bottleneck2_bps, cfg_.bottleneck_delay,
+                              bottleneck_factory(kRouter2, &queue2_));
+  Link& rev2 =
+      topo_.add_link(r3, r2, cfg_.bottleneck2_bps, cfg_.bottleneck_delay, edge_queue);
+
+  cfg_.faults_hop1.validate();
+  cfg_.faults_hop2.validate();
+  if (!cfg_.faults_hop1.empty() || !cfg_.faults_hop2.empty()) {
+    FaultInjector injector(sim_);
+    const auto hook = [](PelsQueue* q) {
+      return [q](double bw) { q->set_link_bandwidth(bw); };
+    };
+    injector.apply(cfg_.faults_hop1, fwd1, rev1, queue1_, hook(queue1_));
+    injector.apply(cfg_.faults_hop2, fwd2, rev2, queue2_, hook(queue2_));
+  }
 
   FlowId next_flow = 0;
   auto add_flow = [&](Router& in, Router& out, std::vector<std::unique_ptr<PelsSource>>& srcs,

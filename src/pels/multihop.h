@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cc/mkc.h"
+#include "fault/fault_plan.h"
 #include "net/topology.h"
 #include "queue/pels_queue.h"
 #include "pels/pels_sink.h"
@@ -40,6 +41,12 @@ struct ParkingLotConfig {
   MkcConfig mkc;
   PelsSourceConfig source;
   RdModelConfig rd;
+  /// Per-hop fault schedules: each plan's flaps/brown-outs/burst corruption
+  /// hit that hop's forward wire, blackouts its reverse wire, restarts its
+  /// PELS queue. Used for bottleneck-shift-under-failure experiments (a
+  /// restart or brown-out on one hop must move the max-min binding).
+  FaultPlan faults_hop1;
+  FaultPlan faults_hop2;
   std::uint64_t seed = 1;
 };
 

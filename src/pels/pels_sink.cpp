@@ -30,6 +30,33 @@ PelsSink::~PelsSink() { host_.unregister_agent(flow_); }
 
 void PelsSink::on_packet(const Packet& pkt) {
   if (pkt.ack) return;  // sinks only expect data
+
+  // The sequence loops at the source; map the raw frame id to the
+  // unwrapped frame nearest the newest one seen, so frame 0 of the second
+  // pass does not merge into frame 0 of the first.
+  std::int64_t unwrapped = -1;
+  if (pkt.frame_id >= 0) {
+    unwrapped = pkt.frame_id;
+    if (max_frame_seen_ >= 0) {
+      const std::int64_t k = (max_frame_seen_ - pkt.frame_id +
+                              video_.total_frames / 2) /
+                             video_.total_frames;
+      unwrapped += std::max<std::int64_t>(0, k) * video_.total_frames;
+    }
+    // Duplicate delivery (fault injection, misbehaving links): a uid the
+    // open frame has already absorbed is acked — the cumulative ACK counters
+    // are idempotent for the sender — but contributes nothing to counters,
+    // delay samples, or the reception record.
+    if (unwrapped > last_finalized_) {
+      auto dup = open_frames_.find(unwrapped);
+      if (dup != open_frames_.end() && dup->second.uids.count(pkt.uid) > 0) {
+        ++duplicates_ignored_;
+        send_ack(pkt);
+        return;
+      }
+    }
+  }
+
   const auto c = static_cast<std::size_t>(pkt.color);
   ++recv_[c];
   if (pkt.ecn_marked) ++recv_marked_;
@@ -38,21 +65,13 @@ void PelsSink::on_packet(const Packet& pkt) {
   delay_series_[c].add(sim_.now(), delay_s);
 
   if (pkt.frame_id >= 0) {
-    // The sequence loops at the source; map the raw frame id to the
-    // unwrapped frame nearest the newest one seen, so frame 0 of the second
-    // pass does not merge into frame 0 of the first.
-    std::int64_t unwrapped = pkt.frame_id;
-    if (max_frame_seen_ >= 0) {
-      const std::int64_t k = (max_frame_seen_ - pkt.frame_id +
-                              video_.total_frames / 2) /
-                             video_.total_frames;
-      unwrapped += std::max<std::int64_t>(0, k) * video_.total_frames;
-    }
     if (unwrapped > last_finalized_) {  // else: past its deadline — lost
       if (pkt.color == Color::kYellow || pkt.color == Color::kRed) {
         recv_fgs_bytes_ += static_cast<std::uint64_t>(pkt.size_bytes);
       }
-      auto& rx = open_frames_[unwrapped];
+      OpenFrame& frame = open_frames_[unwrapped];
+      frame.uids.insert(pkt.uid);
+      FrameReception& rx = frame.rx;
       if (rx.frame_id < 0) {
         rx.frame_id = pkt.frame_id;
         rx.base_bytes_expected = video_.base_layer_bytes;
@@ -72,7 +91,7 @@ void PelsSink::on_packet(const Packet& pkt) {
       while (!open_frames_.empty() &&
              open_frames_.begin()->first <= max_frame_seen_ - kFinalizeLagFrames) {
         auto node = open_frames_.extract(open_frames_.begin());
-        finalize_frame(node.key(), std::move(node.mapped()));
+        finalize_frame(node.key(), std::move(node.mapped().rx));
       }
     }
   }
@@ -85,7 +104,7 @@ void PelsSink::finalize_frame(std::int64_t unwrapped_id, FrameReception rx) {
 }
 
 void PelsSink::finalize_all() {
-  for (auto& [id, rx] : open_frames_) finalize_frame(id, std::move(rx));
+  for (auto& [id, frame] : open_frames_) finalize_frame(id, std::move(frame.rx));
   open_frames_.clear();
 }
 

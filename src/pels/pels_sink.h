@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/host.h"
@@ -57,6 +58,11 @@ class PelsSink : public Agent {
   /// Mean utility over finalized frames that received any FGS data.
   double mean_utility() const;
 
+  /// Duplicate data packets discarded (same uid seen again while its frame
+  /// was still open). Duplicates are acked — the cumulative ACK counters are
+  /// idempotent — but never double-counted into bytes or delay samples.
+  std::uint64_t duplicates_ignored() const { return duplicates_ignored_; }
+
   /// Frame arrival records for playout-deadline evaluation (video/playout.h):
   /// one entry per finalized frame, in decode order.
   std::vector<FrameArrival> frame_arrivals() const;
@@ -79,9 +85,18 @@ class PelsSink : public Agent {
   SampleSet delays_[kNumColors];
   TimeSeries delay_series_[kNumColors];
 
-  std::map<std::int64_t, FrameReception> open_frames_;  // keyed by unwrapped id
+  /// A frame being assembled plus the uids already absorbed into it, so a
+  /// duplicated packet (link retransmission, fault injection) cannot inflate
+  /// the reception record. The set dies with the frame, bounding memory.
+  struct OpenFrame {
+    FrameReception rx;
+    std::unordered_set<std::uint64_t> uids;
+  };
+
+  std::map<std::int64_t, OpenFrame> open_frames_;  // keyed by unwrapped id
   std::int64_t max_frame_seen_ = -1;
   std::int64_t last_finalized_ = -1;
+  std::uint64_t duplicates_ignored_ = 0;
   std::vector<FrameQuality> qualities_;
 };
 

@@ -29,6 +29,7 @@ PelsSource::~PelsSource() {
 void PelsSource::start(SimTime at) {
   sim_.at(at, [this] {
     // Fire the first frame immediately, then every frame period.
+    last_label_at_ = sim_.now();  // watchdog counts from the first send
     on_frame_clock();
     frame_timer_.start();
     control_timer_.start();
@@ -159,14 +160,19 @@ void PelsSource::handle_ack(const AckInfo& ack) {
       std::max(recv_total_, ack.recv_green + ack.recv_yellow + ack.recv_red);
 
   // Freshness rule (§5.2): consume a router's feedback at most once per
-  // epoch; stale/reordered labels (red-queue delays) are ignored.
+  // epoch; stale/reordered labels (red-queue delays) are ignored. A backward
+  // epoch jump beyond kEpochRestartGap is a router restart, not staleness —
+  // the filter re-anchors at the reborn router's epoch instead of staying
+  // deaf until it counts past the pre-restart value.
   if (ack.echoed.valid) {
     auto& last = epoch_seen_[ack.echoed.router_id];
-    if (ack.echoed.epoch > last) {
+    if (epoch_is_fresh(last, ack.echoed.epoch)) {
       last = ack.echoed.epoch;
       controller_->on_router_feedback(ack.echoed.loss, sim_.now());
       latest_router_fgs_loss_ = ack.echoed.fgs_loss;
       last_feedback_router_ = ack.echoed.router_id;
+      last_label_at_ = sim_.now();
+      silent_ = false;
       ++consumed_[ack.echoed.router_id];
     }
   }
@@ -200,12 +206,29 @@ std::uint64_t PelsSource::sent_fgs_bytes_at(SimTime t) const {
 }
 
 void PelsSource::on_control_clock() {
+  // Feedback-staleness watchdog: no fresh router label for feedback_timeout
+  // means the loop is open (ACK blackout, dead or restarted bottleneck).
+  // Signal the controller to decay and, on entry, forget the epoch filter so
+  // a restarted router's labels are accepted whatever their epoch.
+  if (cfg_.feedback_timeout > 0 &&
+      sim_.now() - last_label_at_ >= cfg_.feedback_timeout) {
+    if (!silent_) {
+      silent_ = true;
+      epoch_seen_.clear();
+    }
+    ++silent_intervals_;
+    controller_->on_feedback_silence(sim_.now());
+  }
+
   // Gamma is driven by the router-reported FGS-layer loss (§4.3: p_i(k) "is
   // coupled with congestion control and should be provided by its feedback
   // loop"). Receiver-side byte counting cannot serve here: surviving red
   // packets sit in the starved red band for seconds, so their arrivals lag
   // the sends they must be matched against and the estimate limit-cycles.
-  if (cfg_.partition) gamma_.update(std::clamp(latest_router_fgs_loss_, 0.0, 1.0));
+  // While feedback is silent gamma freezes: iterating eq. (4) on a stale
+  // sample just walks gamma away from any real operating point.
+  if (cfg_.partition && !silent_)
+    gamma_.update(std::clamp(latest_router_fgs_loss_, 0.0, 1.0));
 
   // Receiver-measured FGS loss over the last control interval (sent counter
   // aligned one smoothed RTT back so in-flight packets are not counted as

@@ -57,6 +57,16 @@ struct PelsSourceConfig {
   std::int32_t ack_size_bytes = 40;
   /// Minimum FGS bytes per measurement window for a loss sample to count.
   std::int64_t min_measured_bytes = 2000;
+  /// Feedback-staleness watchdog: when no *fresh* router label arrives for
+  /// this long (K·T in router epochs; ACK blackout, dead or restarted
+  /// bottleneck), every control tick (a) forwards a silence signal to the
+  /// controller (MKC decays its rate multiplicatively) and (b) freezes
+  /// gamma — eq. (4) iterated on a stale loss sample walks gamma away from
+  /// any real operating point. Entering silence also forgets the per-router
+  /// epoch filter, so a restarted router's labels (epochs counting from 1
+  /// again) are consumed no matter how large the backward jump. 0 disables
+  /// the watchdog (the seed behaviour: rate frozen at its last value).
+  SimTime feedback_timeout = from_millis(600);
 };
 
 class PelsSource : public Agent {
@@ -87,6 +97,14 @@ class PelsSource : public Agent {
   /// Router whose labels this flow consumed most often — the bottleneck that
   /// governs the flow in the max-min sense of §5.2. -1 before any feedback.
   std::int32_t governing_router() const;
+
+  /// True while the feedback-staleness watchdog is firing (no fresh label
+  /// for feedback_timeout; rate decaying, gamma frozen).
+  bool feedback_silent() const { return silent_; }
+  /// Control ticks spent in feedback silence so far.
+  std::uint64_t silent_intervals() const { return silent_intervals_; }
+  /// Time the last fresh router label was consumed (start time before any).
+  SimTime last_feedback_at() const { return last_label_at_; }
   SimTime srtt() const { return srtt_; }
   FlowId flow() const { return flow_; }
   CongestionController& controller() { return *controller_; }
@@ -140,6 +158,9 @@ class PelsSource : public Agent {
   std::unordered_map<std::int32_t, std::uint64_t> consumed_;    // labels per router
   double latest_router_fgs_loss_ = 0.0;  // from the freshest consumed label
   std::int32_t last_feedback_router_ = -1;
+  SimTime last_label_at_ = 0;   // watchdog anchor; reset at start()
+  bool silent_ = false;
+  std::uint64_t silent_intervals_ = 0;
   std::uint64_t recv_marked_ = 0;   // cumulative ECN marks from ACKs
   std::uint64_t recv_total_ = 0;    // cumulative data packets from ACKs
   std::uint64_t mark_anchor_ = 0;   // snapshots at the last control tick

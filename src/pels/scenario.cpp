@@ -1,11 +1,58 @@
 #include "pels/scenario.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "queue/bernoulli.h"
 #include "queue/drop_tail.h"
 
 namespace pels {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("ScenarioConfig: ") + what);
+}
+
+}  // namespace
+
+void ScenarioConfig::validate() const {
+  require(pels_flows > 0, "pels_flows must be > 0");
+  require(tcp_flows >= 0, "tcp_flows must be >= 0");
+  require(bottleneck_bps > 0.0, "bottleneck_bps must be > 0");
+  require(edge_bps > 0.0, "edge_bps must be > 0");
+  require(edge_delay >= 0 && bottleneck_delay >= 0, "delays must be >= 0");
+  require(edge_queue_limit > 0, "edge_queue_limit must be > 0");
+  require(ack_loss >= 0.0 && ack_loss < 1.0, "ack_loss must be in [0, 1)");
+  require(wireless_loss >= 0.0 && wireless_loss < 1.0,
+          "wireless_loss must be in [0, 1)");
+  require(mkc.alpha_bps > 0.0, "mkc.alpha_bps must be > 0");
+  require(mkc.beta > 0.0 && mkc.beta < 2.0,
+          "mkc.beta must be in (0, 2) — MKC stability region (Lemma 5)");
+  require(mkc.min_rate_bps > 0.0 && mkc.min_rate_bps <= mkc.initial_rate_bps &&
+              mkc.initial_rate_bps <= mkc.max_rate_bps,
+          "mkc rates must satisfy 0 < min <= initial <= max");
+  require(mkc.silence_decay > 0.0 && mkc.silence_decay <= 1.0,
+          "mkc.silence_decay must be in (0, 1]");
+  require(GammaController::is_stable_gain(source.gamma.sigma),
+          "gamma.sigma must be in (0, 2) — eq. (4) stability region (Lemma 2)");
+  require(source.gamma.p_thr > 0.0 && source.gamma.p_thr <= 1.0,
+          "gamma.p_thr must be in (0, 1]");
+  require(source.control_interval > 0, "source.control_interval must be > 0");
+  require(source.feedback_timeout >= 0, "source.feedback_timeout must be >= 0");
+  require(sample_interval > 0, "sample_interval must be > 0");
+  if (bottleneck == BottleneckKind::kPels) {
+    // link_bandwidth_bps is overwritten with bottleneck_bps at construction;
+    // validate the rest of the AQM config as it will actually run.
+    PelsQueueConfig qc = pels_queue;
+    qc.link_bandwidth_bps = bottleneck_bps;
+    qc.validate();
+  }
+  faults.validate();
+  require(faults.router_restarts.empty() || bottleneck == BottleneckKind::kPels,
+          "router restarts need a PELS bottleneck (only the PELS AQM has a "
+          "restartable feedback meter)");
+}
 
 std::vector<SimTime> staircase_starts(int flows, int per_step, SimTime step) {
   assert(flows > 0 && per_step > 0);
@@ -17,8 +64,7 @@ std::vector<SimTime> staircase_starts(int flows, int per_step, SimTime step) {
 
 DumbbellScenario::DumbbellScenario(ScenarioConfig config)
     : cfg_(std::move(config)), sim_(cfg_.seed), topo_(sim_), rd_(cfg_.rd) {
-  assert(cfg_.pels_flows > 0);
-  assert(cfg_.tcp_flows >= 0);
+  cfg_.validate();
 
   Router& r1 = topo_.add_router("R1");
   Router& r2 = topo_.add_router("R2");
@@ -64,11 +110,26 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
     }
     return std::make_unique<DropTailQueue>(cfg_.edge_queue_limit);
   };
-  topo_.add_link(r2, r1, cfg_.bottleneck_bps, cfg_.bottleneck_delay, reverse_queue);
+  Link& reverse =
+      topo_.add_link(r2, r1, cfg_.bottleneck_bps, cfg_.bottleneck_delay, reverse_queue);
   bottleneck_ = &forward.queue();
   bottleneck_link_ = &forward;
+  reverse_link_ = &reverse;
   if (cfg_.wireless_loss > 0.0) {
     forward.set_corruption(cfg_.wireless_loss, sim_.make_rng(0xA17));
+  }
+
+  // Schedule the fault plan. Brown-outs resize the PELS queue's capacity
+  // share along with the wire (a real router sees its interface renegotiate);
+  // the comparator queues keep their construction-time capacity, matching
+  // set_bottleneck_bandwidth.
+  if (!cfg_.faults.empty()) {
+    FaultInjector injector(sim_);
+    FaultInjector::BandwidthHook hook;
+    if (PelsQueue* q = pels_queue_) {
+      hook = [q](double bw) { q->set_link_bandwidth(bw); };
+    }
+    injector.apply(cfg_.faults, forward, reverse, pels_queue_, std::move(hook));
   }
 
   // The comparator source sends the whole FGS prefix unpartitioned.

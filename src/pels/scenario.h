@@ -17,6 +17,7 @@
 #include "cc/mkc.h"
 #include "cc/rem_controller.h"
 #include "cc/tcp_like.h"
+#include "fault/fault_plan.h"
 #include "net/topology.h"
 #include "queue/best_effort.h"
 #include "queue/pels_queue.h"
@@ -71,8 +72,21 @@ struct ScenarioConfig {
   /// default builds MkcController(mkc).
   std::function<std::unique_ptr<CongestionController>(int flow_index)> make_controller;
 
+  /// Scripted fault schedule applied to the bottleneck: link flaps and
+  /// brown-outs on the forward direction, ACK blackouts on the reverse,
+  /// router restarts on the PELS queue, Gilbert–Elliott burst corruption on
+  /// the forward wire. Deterministic given `seed`. Empty = fault-free run.
+  FaultPlan faults;
+
   SimTime sample_interval = kSecond;  // per-colour loss sampling
   std::uint64_t seed = 1;
+
+  /// Rejects nonsensical parameters (probabilities outside [0,1), gains
+  /// outside their stability regions, non-positive bandwidths/intervals,
+  /// restarts without a PELS bottleneck) with std::invalid_argument. Called
+  /// by the DumbbellScenario constructor — a bad config fails fast instead
+  /// of producing a silently absurd simulation.
+  void validate() const;
 };
 
 /// Convenience: start times 0, t, 2t, ... for a staircase join pattern
@@ -132,6 +146,7 @@ class DumbbellScenario {
   RemQueue* rem_queue_ = nullptr;
   QueueDisc* bottleneck_ = nullptr;
   Link* bottleneck_link_ = nullptr;
+  Link* reverse_link_ = nullptr;
 
   std::vector<std::unique_ptr<PelsSource>> sources_;
   std::vector<std::unique_ptr<PelsSink>> sinks_;

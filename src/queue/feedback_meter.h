@@ -92,6 +92,23 @@ class FeedbackMeter {
   /// Updates the capacity the loss is computed against (link rate changes).
   void set_capacity_bps(double capacity_bps) { capacity_bps_ = capacity_bps; }
 
+  /// Router-restart semantics (fault injection): forgets the epoch, the
+  /// interval counters, the smoothed rate estimates, and any injected FGS
+  /// loss, exactly as a rebooted router losing its RAM would. Stamping
+  /// resumes at epoch 1 after the next close_interval(); consumers see a
+  /// large backward epoch jump (see kEpochRestartGap in net/packet.h).
+  void reset() {
+    interval_bytes_ = 0;
+    interval_fgs_bytes_ = 0;
+    smoothed_rate_ = 0.0;
+    smoothed_fgs_rate_ = 0.0;
+    loss_ = 0.0;
+    fgs_loss_ = 0.0;
+    fgs_loss_estimate_ = 0.0;
+    fgs_loss_sticky_ = false;
+    epoch_ = 0;
+  }
+
   /// Replaces the rate-derived FGS loss with an externally measured value.
   /// The PELS queue uses this to report *actual* FGS drop fractions (exact,
   /// integer drop counts over a longer window) instead of the noisy

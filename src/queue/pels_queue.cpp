@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace pels {
 
@@ -9,18 +10,41 @@ std::size_t pels_wrr_classifier(const Packet& pkt) {
   return pkt.color == Color::kInternet ? 1 : 0;
 }
 
+void PelsQueueConfig::validate() const {
+  if (!(link_bandwidth_bps > 0.0))
+    throw std::invalid_argument("PelsQueueConfig: link_bandwidth_bps must be > 0");
+  if (!(pels_weight > 0.0) || !(internet_weight > 0.0))
+    throw std::invalid_argument("PelsQueueConfig: WRR weights must be > 0");
+  if (feedback_interval <= 0)
+    throw std::invalid_argument("PelsQueueConfig: feedback_interval must be > 0");
+  if (fgs_loss_window_intervals <= 0)
+    throw std::invalid_argument("PelsQueueConfig: fgs_loss_window_intervals must be > 0");
+  if (green_limit == 0 || yellow_limit == 0 || red_limit == 0 || internet_limit == 0)
+    throw std::invalid_argument("PelsQueueConfig: band limits must be >= 1 packet");
+  if (!(loss_ceiling > 0.0 && loss_ceiling < 1.0))
+    throw std::invalid_argument("PelsQueueConfig: loss_ceiling must be in (0, 1)");
+  if (!(loss_floor < loss_ceiling))
+    throw std::invalid_argument("PelsQueueConfig: loss_floor must be < loss_ceiling");
+  if (!(feedback_rate_ewma > 0.0 && feedback_rate_ewma <= 1.0))
+    throw std::invalid_argument("PelsQueueConfig: feedback_rate_ewma must be in (0, 1]");
+}
+
+namespace {
+// Members (meter, feedback timer) are built from the config in the
+// initializer list, so validation has to happen before any of them.
+PelsQueueConfig validated(PelsQueueConfig cfg) {
+  cfg.validate();
+  return cfg;
+}
+}  // namespace
+
 PelsQueue::PelsQueue(Scheduler& sched, PelsQueueConfig config)
-    : cfg_(config),
+    : cfg_(validated(std::move(config))),
       pels_capacity_bps_(cfg_.link_bandwidth_bps * cfg_.pels_weight /
                          (cfg_.pels_weight + cfg_.internet_weight)),
       meter_(cfg_.router_id, pels_capacity_bps_, cfg_.feedback_interval, cfg_.loss_floor,
              cfg_.loss_ceiling, cfg_.feedback_rate_ewma),
       feedback_timer_(sched, cfg_.feedback_interval, [this] { on_feedback_interval(); }) {
-  assert(cfg_.link_bandwidth_bps > 0.0);
-  assert(cfg_.pels_weight > 0.0 && cfg_.internet_weight > 0.0);
-  assert(cfg_.feedback_interval > 0);
-  assert(cfg_.fgs_loss_window_intervals > 0);
-
   // In two-priority (QBSS) mode red shares the yellow band; the red band
   // still exists but never receives traffic, keeping band indices stable.
   const StrictPriorityQueue::Classifier classify =
@@ -77,6 +101,19 @@ void PelsQueue::set_link_bandwidth(double bandwidth_bps) {
   pels_capacity_bps_ =
       bandwidth_bps * cfg_.pels_weight / (cfg_.pels_weight + cfg_.internet_weight);
   meter_.set_capacity_bps(pels_capacity_bps_);
+}
+
+void PelsQueue::restart() {
+  meter_.reset();
+  intervals_since_fgs_update_ = 0;
+  // Anchor the drop-count window at the *current* cumulative counters: the
+  // counters are external observables and keep running, but the restarted
+  // meter must not report pre-restart drops as this window's loss.
+  const auto& c = counters();
+  fgs_arrivals_anchor_ = c.arrivals[static_cast<std::size_t>(Color::kYellow)] +
+                         c.arrivals[static_cast<std::size_t>(Color::kRed)];
+  fgs_drops_anchor_ = c.drops[static_cast<std::size_t>(Color::kYellow)] +
+                      c.drops[static_cast<std::size_t>(Color::kRed)];
 }
 
 std::size_t PelsQueue::band_packet_count(std::size_t band) const {

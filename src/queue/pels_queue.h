@@ -85,6 +85,12 @@ struct PelsQueueConfig {
   /// and produces a large limit cycle. Leave at 1.0 unless sources cap their
   /// growth aggressively; lengthen feedback_interval to reduce noise instead.
   double feedback_rate_ewma = 1.0;
+
+  /// Throws std::invalid_argument on out-of-range values (non-positive
+  /// bandwidth/weights/intervals, loss bounds out of order, zero band
+  /// limits, EWMA gain outside (0, 1]). Construction validates; call
+  /// directly to fail fast before building a whole scenario.
+  void validate() const;
 };
 
 class PelsQueue : public QueueDisc {
@@ -103,6 +109,12 @@ class PelsQueue : public QueueDisc {
   /// Re-derives the capacity share after the underlying link rate changes
   /// (call together with Link::set_bandwidth_bps).
   void set_link_bandwidth(double bandwidth_bps);
+
+  /// Router restart (fault injection): the feedback meter loses its epoch,
+  /// counters, and smoothed rates, and the drop-count FGS loss window starts
+  /// over. Queued packets survive (the reproduction models a control-plane
+  /// reboot; the dataplane buffer is orthogonal and testable via link flaps).
+  void restart();
 
   /// Latest computed feedback (p of eq. (11)); meaningful once epoch() >= 1.
   double current_loss() const { return meter_.loss(); }

@@ -79,6 +79,39 @@ TEST(FeedbackLabelTest, SameRouterRefreshesDownward) {
   EXPECT_DOUBLE_EQ(label.fgs_loss, -0.25);
 }
 
+TEST(FeedbackLabelTest, EpochFreshnessHelper) {
+  EXPECT_TRUE(epoch_is_fresh(5, 6));       // normal advance
+  EXPECT_FALSE(epoch_is_fresh(5, 5));      // repeat
+  EXPECT_FALSE(epoch_is_fresh(8, 6));      // small backward jump: reordering
+  EXPECT_FALSE(epoch_is_fresh(130, 2));    // jump of exactly the gap: stale
+  EXPECT_TRUE(epoch_is_fresh(131, 2));     // beyond the gap: router restart
+  EXPECT_TRUE(epoch_is_fresh(700, 1));     // restart from scratch
+}
+
+TEST(FeedbackLabelTest, SameRouterAcceptsEpochAfterRestart) {
+  // A backward jump larger than kEpochRestartGap can only mean the router
+  // restarted and is counting epochs from 1 again. Without this rule the
+  // label (and every consumer keyed on it) would stay pinned to the
+  // pre-restart epoch until the reborn router counts past it — minutes of
+  // deafness at T = 30 ms.
+  FeedbackLabel label;
+  label.maybe_override(1, 700, 0.10, 0.12);
+  label.maybe_override(1, 2, -0.40, -0.35);  // restarted router, fresh report
+  EXPECT_EQ(label.router_id, 1);
+  EXPECT_EQ(label.epoch, 2u);
+  EXPECT_DOUBLE_EQ(label.loss, -0.40);
+}
+
+TEST(FeedbackLabelTest, SameRouterStillIgnoresSmallBackwardJump) {
+  // Backward jumps within the gap are reordered stale labels, not restarts
+  // (red-band queueing delays labels by at most ~100 epochs by design).
+  FeedbackLabel label;
+  label.maybe_override(1, 700, 0.10, 0.12);
+  label.maybe_override(1, 640, 0.90, 0.95);  // stale, within the gap
+  EXPECT_EQ(label.epoch, 700u);
+  EXPECT_DOUBLE_EQ(label.loss, 0.10);
+}
+
 TEST(FeedbackLabelTest, SameRouterIgnoresStaleEpoch) {
   // A reordered packet may carry an older same-router report; it must not
   // roll the label back in time.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "queue/best_effort.h"
 #include "queue/feedback_meter.h"
@@ -199,6 +200,69 @@ TEST(PelsQueueTest, FeedbackEpochAdvancesWithTimer) {
   EXPECT_EQ(q.epoch(), 0u);
   sim.run_until(from_millis(95));
   EXPECT_EQ(q.epoch(), 3u);  // intervals close at 30, 60, 90 ms
+}
+
+TEST(PelsQueueTest, ConfigValidationRejectsNonsense) {
+  auto expect_throws = [](PelsQueueConfig cfg) {
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    Simulation sim;
+    EXPECT_THROW(PelsQueue(sim.scheduler(), cfg), std::invalid_argument);
+  };
+  {
+    PelsQueueConfig cfg = test_config();
+    cfg.link_bandwidth_bps = 0.0;
+    expect_throws(cfg);
+  }
+  {
+    PelsQueueConfig cfg = test_config();
+    cfg.pels_weight = -1.0;
+    expect_throws(cfg);
+  }
+  {
+    PelsQueueConfig cfg = test_config();
+    cfg.feedback_interval = 0;
+    expect_throws(cfg);
+  }
+  {
+    PelsQueueConfig cfg = test_config();
+    cfg.loss_ceiling = 1.5;
+    expect_throws(cfg);
+  }
+  {
+    PelsQueueConfig cfg = test_config();
+    cfg.loss_floor = cfg.loss_ceiling;  // floor must stay below ceiling
+    expect_throws(cfg);
+  }
+  EXPECT_NO_THROW(test_config().validate());
+}
+
+TEST(PelsQueueTest, RestartResetsEpochButKeepsQueuedPackets) {
+  // Router restart: the control plane (meter epoch, counters, rate
+  // estimates) reboots, but queued packets survive — interface buffers
+  // outlive a routing-daemon restart. Stamping resumes at epoch 1, the
+  // backward jump consumers must tolerate.
+  Simulation sim;
+  PelsQueue q(sim.scheduler(), test_config());
+  sim.run_until(from_millis(1));
+  for (int i = 0; i < 36; ++i) q.enqueue(make_packet(500, Color::kYellow));
+  sim.run_until(from_millis(95));
+  EXPECT_EQ(q.epoch(), 3u);
+  const std::size_t backlog = q.packet_count();
+  ASSERT_GT(backlog, 0u);
+  q.restart();
+  EXPECT_EQ(q.epoch(), 0u);
+  EXPECT_EQ(q.packet_count(), backlog);  // data plane untouched
+  // No stamping until the first post-restart interval closes...
+  auto pkt = q.dequeue();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_FALSE(pkt->feedback.valid);
+  // ...then labels resume from epoch 1.
+  sim.run_until(from_millis(125));
+  EXPECT_EQ(q.epoch(), 1u);
+  pkt = q.dequeue();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_TRUE(pkt->feedback.valid);
+  EXPECT_EQ(pkt->feedback.epoch, 1u);
 }
 
 TEST(PelsQueueTest, DepartingPelsPacketsAreStamped) {

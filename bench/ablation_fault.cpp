@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cc/mkc.h"
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -101,14 +102,21 @@ int main() {
   };
   TablePrinter table({"fault", "rate 20-35s (kb/s)", "rate 45-50s (kb/s)",
                       "green loss", "utility", "silent ticks"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (const auto& [name, plan] : cases) {
-    const Result r = run(plan);
-    table.add_row({name, TablePrinter::fmt(r.rate_during / 1e3, 0),
-                   TablePrinter::fmt(r.rate_after / 1e3, 0),
-                   TablePrinter::fmt(r.green_loss, 6),
-                   TablePrinter::fmt(r.utility, 3),
-                   std::to_string(r.silence_ticks)});
+    tasks.push_back([name = name, plan = plan] {
+      const Result r = run(plan);
+      SweepOutput out;
+      out.rows.push_back({name, TablePrinter::fmt(r.rate_during / 1e3, 0),
+                          TablePrinter::fmt(r.rate_after / 1e3, 0),
+                          TablePrinter::fmt(r.green_loss, 6),
+                          TablePrinter::fmt(r.utility, 3),
+                          std::to_string(r.silence_ticks)});
+      return out;
+    });
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   const ScenarioConfig ref;
   std::cout << "\nExpected: every faulted run returns to the stationary rate ("

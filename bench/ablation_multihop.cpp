@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analysis/stability.h"
+#include "exp/sweep.h"
 #include "pels/multihop.h"
 #include "util/table.h"
 
@@ -24,27 +25,34 @@ int main() {
     int x1;
     int x2;
   };
+  std::vector<std::function<SweepOutput()>> tasks;
   for (const Case c : {Case{1, 3}, Case{3, 1}, Case{2, 2}, Case{1, 7}}) {
-    ParkingLotConfig cfg;
-    cfg.cross_flows_hop1 = c.x1;
-    cfg.cross_flows_hop2 = c.x2;
-    cfg.seed = 11;
-    ParkingLotScenario s(cfg);
-    const SimTime duration = 40 * kSecond;
-    s.run_until(duration);
-    s.finish();
+    tasks.push_back([c] {
+      ParkingLotConfig cfg;
+      cfg.cross_flows_hop1 = c.x1;
+      cfg.cross_flows_hop2 = c.x2;
+      cfg.seed = 11;
+      ParkingLotScenario s(cfg);
+      const SimTime duration = 40 * kSecond;
+      s.run_until(duration);
+      s.finish();
 
-    const double r_long = s.long_flow(0).rate_series().mean_in(20 * kSecond, duration);
-    const double r_x2 =
-        s.cross_flow_hop2(0).rate_series().mean_in(20 * kSecond, duration);
-    const double r_x1 =
-        s.cross_flow_hop1(0).rate_series().mean_in(20 * kSecond, duration);
-    table.add_row({std::to_string(c.x1) + " / " + std::to_string(c.x2),
-                   "R" + std::to_string(s.long_flow(0).governing_router()),
-                   TablePrinter::fmt(r_long / 1e3, 0), TablePrinter::fmt(r_x2 / 1e3, 0),
-                   TablePrinter::fmt(r_x1 / 1e3, 0),
-                   TablePrinter::fmt(s.long_sink(0).mean_utility(), 3)});
+      const double r_long = s.long_flow(0).rate_series().mean_in(20 * kSecond, duration);
+      const double r_x2 =
+          s.cross_flow_hop2(0).rate_series().mean_in(20 * kSecond, duration);
+      const double r_x1 =
+          s.cross_flow_hop1(0).rate_series().mean_in(20 * kSecond, duration);
+      SweepOutput out;
+      out.rows.push_back({std::to_string(c.x1) + " / " + std::to_string(c.x2),
+                          "R" + std::to_string(s.long_flow(0).governing_router()),
+                          TablePrinter::fmt(r_long / 1e3, 0), TablePrinter::fmt(r_x2 / 1e3, 0),
+                          TablePrinter::fmt(r_x1 / 1e3, 0),
+                          TablePrinter::fmt(s.long_sink(0).mean_utility(), 3)});
+      return out;
+    });
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   std::cout << "\nExpected: the governing router follows the busier hop; the long flow\n"
             << "matches its peers on that hop (max-min), the other hop's cross flows\n"

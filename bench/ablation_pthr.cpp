@@ -7,6 +7,7 @@
 // die. Sweep p_thr and measure utility, gamma, red/yellow loss, and PSNR.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -18,28 +19,35 @@ int main() {
                "Ablation A1: red-loss target p_thr sweep (4 flows, 90 s)");
   TablePrinter table({"p_thr", "gamma tail mean", "red loss", "yellow loss",
                       "mean utility", "mean PSNR (dB)", "eq.(6) bound"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (double p_thr : {0.55, 0.65, 0.75, 0.85, 0.95}) {
-    ScenarioConfig cfg;
-    cfg.pels_flows = 4;
-    cfg.tcp_flows = 3;
-    cfg.seed = 7;
-    cfg.source.gamma.p_thr = p_thr;
-    DumbbellScenario s(cfg);
-    const SimTime duration = 90 * kSecond;
-    s.run_until(duration);
-    s.finish();
+    tasks.push_back([p_thr] {
+      ScenarioConfig cfg;
+      cfg.pels_flows = 4;
+      cfg.tcp_flows = 3;
+      cfg.seed = 7;
+      cfg.source.gamma.p_thr = p_thr;
+      DumbbellScenario s(cfg);
+      const SimTime duration = 90 * kSecond;
+      s.run_until(duration);
+      s.finish();
 
-    RunningStats psnr;
-    for (const auto& q : s.sink(0).quality_for_frames(50, 850)) psnr.add(q.psnr_db);
-    const double p_fgs = s.fgs_loss_series().mean_in(30 * kSecond, duration);
-    table.add_row(
-        {TablePrinter::fmt(p_thr, 2),
-         TablePrinter::fmt(s.source(0).gamma_series().mean_in(30 * kSecond, duration), 3),
-         TablePrinter::fmt(s.loss_series(Color::kRed).mean_in(30 * kSecond, duration), 3),
-         TablePrinter::fmt(s.loss_series(Color::kYellow).mean_in(30 * kSecond, duration), 4),
-         TablePrinter::fmt(s.sink(0).mean_utility(), 3), TablePrinter::fmt(psnr.mean(), 2),
-         TablePrinter::fmt(p_fgs < p_thr ? (1.0 - p_fgs / p_thr) / (1.0 - p_fgs) : 0.0, 3)});
+      RunningStats psnr;
+      for (const auto& q : s.sink(0).quality_for_frames(50, 850)) psnr.add(q.psnr_db);
+      const double p_fgs = s.fgs_loss_series().mean_in(30 * kSecond, duration);
+      SweepOutput out;
+      out.rows.push_back(
+          {TablePrinter::fmt(p_thr, 2),
+           TablePrinter::fmt(s.source(0).gamma_series().mean_in(30 * kSecond, duration), 3),
+           TablePrinter::fmt(s.loss_series(Color::kRed).mean_in(30 * kSecond, duration), 3),
+           TablePrinter::fmt(s.loss_series(Color::kYellow).mean_in(30 * kSecond, duration), 4),
+           TablePrinter::fmt(s.sink(0).mean_utility(), 3), TablePrinter::fmt(psnr.mean(), 2),
+           TablePrinter::fmt(p_fgs < p_thr ? (1.0 - p_fgs / p_thr) / (1.0 - p_fgs) : 0.0, 3)});
+      return out;
+    });
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   std::cout << "\nExpected: gamma ~ p_fgs/p_thr shrinks as p_thr grows; utility rises\n"
             << "with p_thr while the yellow queue's spill risk grows as the (1-p_thr)\n"

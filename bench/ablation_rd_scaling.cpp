@@ -7,6 +7,7 @@
 // much of the fluctuation it removes at the same congestion-controlled rate.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -45,16 +46,23 @@ int main() {
                "Ablation A9: constant-byte vs R-D-aware FGS scaling (paper [5])");
   TablePrinter table({"flows", "scaling", "mean PSNR (dB)", "p5-p95 spread (dB)",
                       "worst frame (dB)", "mean rate (kb/s)"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (int flows : {2, 4}) {
     for (bool rd_aware : {false, true}) {
-      const Result r = run(rd_aware, flows);
-      table.add_row({TablePrinter::fmt_int(flows), rd_aware ? "R-D aware" : "constant",
-                     TablePrinter::fmt(r.mean_psnr, 2),
-                     TablePrinter::fmt(r.spread_p5_p95, 2),
-                     TablePrinter::fmt(r.min_psnr, 2),
-                     TablePrinter::fmt(r.mean_rate / 1e3, 0)});
+      tasks.push_back([flows, rd_aware] {
+        const Result r = run(rd_aware, flows);
+        SweepOutput out;
+        out.rows.push_back({TablePrinter::fmt_int(flows), rd_aware ? "R-D aware" : "constant",
+                            TablePrinter::fmt(r.mean_psnr, 2),
+                            TablePrinter::fmt(r.spread_p5_p95, 2),
+                            TablePrinter::fmt(r.min_psnr, 2),
+                            TablePrinter::fmt(r.mean_rate / 1e3, 0)});
+        return out;
+      });
     }
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   std::cout << "\nExpected: the R-D-aware scaler spends the same rate (same mean PSNR\n"
             << "to within noise) but flattens the quality trace — smaller p5-p95\n"

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "cc/tcp_like.h"
+#include "exp/sweep.h"
 #include "net/topology.h"
 #include "pels/arq.h"
 #include "pels/scenario.h"
@@ -86,12 +87,20 @@ int main() {
                "TCP on a 2 mb/s drop-tail bottleneck, 400 ms deadline)");
   TablePrinter table({"buffer (pkts)", "approx full-buffer RTT (ms)",
                       "on-time fraction", "decodable prefix", "retx per packet"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (std::size_t buffer : {25u, 100u, 250u, 500u}) {
-    const ArqResult r = run_arq(buffer);
-    table.add_row({TablePrinter::fmt_int(static_cast<long long>(buffer)),
-                   TablePrinter::fmt(r.rtt_ms, 0), TablePrinter::fmt(r.on_time, 3),
-                   TablePrinter::fmt(r.prefix, 3), TablePrinter::fmt(r.retx_per_pkt, 3)});
+    tasks.push_back([buffer] {
+      const ArqResult r = run_arq(buffer);
+      SweepOutput out;
+      out.rows.push_back(
+          {TablePrinter::fmt_int(static_cast<long long>(buffer)),
+           TablePrinter::fmt(r.rtt_ms, 0), TablePrinter::fmt(r.on_time, 3),
+           TablePrinter::fmt(r.prefix, 3), TablePrinter::fmt(r.retx_per_pkt, 3)});
+      return out;
+    });
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
 
   // PELS reference on an equivalent share: retransmission-free.

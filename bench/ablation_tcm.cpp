@@ -11,6 +11,7 @@
 // benefit from unequal priority of the packets".
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -56,15 +57,22 @@ int main() {
                "Ablation A15: semantic (PELS) vs srTCM conformance marking, same AQM");
   TablePrinter table({"flows", "marking", "mean utility", "mean PSNR (dB)",
                       "frames with intact base"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (int flows : {4, 8}) {
     for (bool tcm : {false, true}) {
-      const Result r = run(tcm, flows);
-      table.add_row({TablePrinter::fmt_int(flows),
-                     tcm ? "srTCM (rate conformance)" : "PELS (semantic)",
-                     TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
-                     TablePrinter::fmt(r.intact_base, 1) + " %"});
+      tasks.push_back([flows, tcm] {
+        const Result r = run(tcm, flows);
+        SweepOutput out;
+        out.rows.push_back({TablePrinter::fmt_int(flows),
+                            tcm ? "srTCM (rate conformance)" : "PELS (semantic)",
+                            TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
+                            TablePrinter::fmt(r.intact_base, 1) + " %"});
+        return out;
+      });
     }
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   std::cout << "\nExpected: with srTCM the red class contains whatever exceeded the\n"
             << "committed rate at that instant — including base-layer packets, whose\n"

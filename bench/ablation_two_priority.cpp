@@ -14,6 +14,7 @@
 // arrives last within each frame) but cannot eliminate it.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -56,16 +57,23 @@ int main() {
                "Ablation A10: three priorities (PELS) vs two (QBSS-like), 60 s");
   TablePrinter table({"flows", "FGS bands", "mean utility", "mean PSNR (dB)",
                       "yellow loss", "red loss"});
+  std::vector<std::function<SweepOutput()>> tasks;
   for (int flows : {4, 8}) {
     for (bool merge : {false, true}) {
-      const Result r = run(merge, flows);
-      table.add_row({TablePrinter::fmt_int(flows),
-                     merge ? "merged (QBSS-like)" : "yellow|red (PELS)",
-                     TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
-                     TablePrinter::fmt(r.yellow_loss, 4),
-                     TablePrinter::fmt(r.red_loss, 4)});
+      tasks.push_back([flows, merge] {
+        const Result r = run(merge, flows);
+        SweepOutput out;
+        out.rows.push_back({TablePrinter::fmt_int(flows),
+                            merge ? "merged (QBSS-like)" : "yellow|red (PELS)",
+                            TablePrinter::fmt(r.utility, 3), TablePrinter::fmt(r.psnr, 2),
+                            TablePrinter::fmt(r.yellow_loss, 4),
+                            TablePrinter::fmt(r.red_loss, 4)});
+        return out;
+      });
     }
   }
+  SweepRunner runner;
+  run_to_table(runner, std::move(tasks), table);
   table.print(std::cout);
   std::cout << "\nExpected: with merged FGS bands the drops spread across yellow and\n"
             << "red (arrival-order tail drops), utility falls below PELS's ~0.99, and\n"

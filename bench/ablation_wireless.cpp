@@ -13,6 +13,7 @@
 
 #include "analysis/best_effort_model.h"
 #include "cc/tfrc_lite.h"
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -60,10 +61,18 @@ int main() {
                "Ablation A14: wireless (post-queue) corruption, 2 flows, 40 s");
   TablePrinter table({"wire loss", "MKC rate (kb/s)", "MKC utility", "MKC PSNR",
                       "TFRC rate (kb/s)", "TFRC utility"});
-  for (double loss : {0.0, 0.02, 0.05, 0.10}) {
-    const Result mkc = run(loss, false);
-    const Result tfrc = run(loss, true);
-    table.add_row({TablePrinter::fmt(loss, 2), TablePrinter::fmt(mkc.rate / 1e3, 0),
+  // One task per (loss, controller) pair; rows pair up after the join.
+  std::vector<std::function<Result()>> tasks;
+  const std::vector<double> losses{0.0, 0.02, 0.05, 0.10};
+  for (double loss : losses)
+    for (bool tfrc : {false, true})
+      tasks.push_back([loss, tfrc] { return run(loss, tfrc); });
+  SweepRunner runner;
+  const auto outcomes = runner.run(std::move(tasks));
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const Result& mkc = *outcomes[2 * i].value;
+    const Result& tfrc = *outcomes[2 * i + 1].value;
+    table.add_row({TablePrinter::fmt(losses[i], 2), TablePrinter::fmt(mkc.rate / 1e3, 0),
                    TablePrinter::fmt(mkc.utility, 3), TablePrinter::fmt(mkc.psnr, 2),
                    TablePrinter::fmt(tfrc.rate / 1e3, 0),
                    TablePrinter::fmt(tfrc.utility, 3)});

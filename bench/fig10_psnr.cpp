@@ -14,6 +14,7 @@
 // PSNR fluctuates by as much as ~15 dB while PELS stays near-flat.
 #include <iostream>
 
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -44,9 +45,8 @@ SchemeResult run_scheme(BottleneckKind kind, double alpha_bps) {
   return out;
 }
 
-void report(const std::string& title, double alpha_bps) {
-  const SchemeResult pels_run = run_scheme(BottleneckKind::kPels, alpha_bps);
-  const SchemeResult be_run = run_scheme(BottleneckKind::kBestEffort, alpha_bps);
+void report(const std::string& title, const SchemeResult& pels_run,
+            const SchemeResult& be_run) {
   const RdModel rd;
 
   print_banner(std::cout, title);
@@ -99,8 +99,18 @@ void report(const std::string& title, double alpha_bps) {
 
 int main() {
   // alpha/beta = 222 kb/s over C = 2 mb/s -> p* ~ 10%; 469 kb/s -> ~19%.
-  report("Figure 10 (left): PSNR of CIF Foreman, ~10% FGS packet loss", 111e3);
-  report("Figure 10 (right): PSNR of CIF Foreman, ~19% FGS packet loss", 235e3);
+  // Four independent scheme runs (2 loss levels x {PELS, best-effort});
+  // sweep them and report from the buffered results.
+  std::vector<std::function<SchemeResult()>> tasks;
+  for (double alpha_bps : {111e3, 235e3})
+    for (BottleneckKind kind : {BottleneckKind::kPels, BottleneckKind::kBestEffort})
+      tasks.push_back([kind, alpha_bps] { return run_scheme(kind, alpha_bps); });
+  SweepRunner runner;
+  const auto outcomes = runner.run(std::move(tasks));
+  report("Figure 10 (left): PSNR of CIF Foreman, ~10% FGS packet loss",
+         *outcomes[0].value, *outcomes[1].value);
+  report("Figure 10 (right): PSNR of CIF Foreman, ~19% FGS packet loss",
+         *outcomes[2].value, *outcomes[3].value);
   std::cout << "\nPaper: best-effort improves base PSNR by ~24% (10% loss) / ~16% (19%\n"
             << "loss); PELS by ~60% / ~55%. Best-effort fluctuates by up to ~15 dB;\n"
             << "PELS stays near-flat.\n";

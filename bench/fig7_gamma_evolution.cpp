@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "analysis/stability.h"
+#include "exp/sweep.h"
 #include "pels/scenario.h"
 #include "util/table.h"
 
@@ -51,8 +52,14 @@ RunResult run_flows(int flows, SimTime duration) {
 
 int main() {
   const SimTime duration = 120 * kSecond;
-  const RunResult low = run_flows(4, duration);   // p_fgs ~ 9.7%
-  const RunResult high = run_flows(8, duration);  // p_fgs ~ 24%
+  // The two congestion levels are independent simulations — sweep them.
+  std::vector<std::function<RunResult()>> tasks;
+  for (int flows : {4, 8})  // p_fgs ~ 9.7% and ~ 24%
+    tasks.push_back([flows, duration] { return run_flows(flows, duration); });
+  SweepRunner runner;
+  const auto outcomes = runner.run(std::move(tasks));
+  const RunResult& low = *outcomes[0].value;
+  const RunResult& high = *outcomes[1].value;
 
   print_banner(std::cout, "Figure 7 (left): evolution of gamma(t), p_thr = 0.75");
   TablePrinter gamma_tab({"t (s)", "gamma (4 flows)", "gamma (8 flows)"});

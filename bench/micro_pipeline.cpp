@@ -1,0 +1,176 @@
+// End-to-end pipeline microbench: simulated packets/sec through the full
+// source -> queue -> link -> router -> sink path, plus SweepRunner scaling.
+//
+// Two measurements, written to BENCH_pipeline.json (and EXPERIMENTS.md):
+//   1. pipeline: wall-clock for a 4-flow dumbbell run; reports data
+//      packets/sec delivered end to end and scheduler events/sec. This is
+//      the number the Packet memory diet (boxed AckInfo, move-only hot
+//      path) moves.
+//   2. sweep scaling: an 8-point ablation-style sweep executed by
+//      SweepRunner at 1/2/4/8 threads; reports wall-clock per thread count
+//      and asserts the merged CSV is byte-identical to the serial run (the
+//      determinism contract, see DESIGN.md "Parallel experiments").
+//
+// Usage: micro_pipeline [--smoke] [--json PATH] [--label NAME]
+//   --smoke shortens simulated durations so CI sanitizer jobs can afford it.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "pels/scenario.h"
+#include "util/table.h"
+
+using namespace pels;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct PipelineResult {
+  double wall_ms = 0.0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t events = 0;
+};
+
+/// One full dumbbell run; returns wall time and end-to-end delivery counts.
+PipelineResult run_pipeline(SimTime duration) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 4;
+  cfg.tcp_flows = 2;
+  cfg.seed = 3;
+  const auto t0 = Clock::now();
+  DumbbellScenario s(cfg);
+  s.run_until(duration);
+  s.finish();
+  PipelineResult r;
+  r.wall_ms = ms_since(t0);
+  for (int i = 0; i < cfg.pels_flows; ++i)
+    for (std::size_t c = 0; c < kNumColors; ++c)
+      r.data_packets += s.sink(i).packets_received(static_cast<Color>(c));
+  r.events = s.sim().scheduler().executed();
+  return r;
+}
+
+/// The 8-point sweep used for the scaling measurement: p_thr x seed grid,
+/// every point an independent scenario. Returns the merged CSV.
+std::string run_sweep(unsigned threads, SimTime duration, double* wall_ms) {
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (double p_thr : {0.65, 0.75, 0.85, 0.95}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      tasks.push_back([p_thr, seed, duration] {
+        ScenarioConfig cfg;
+        cfg.pels_flows = 2;
+        cfg.tcp_flows = 1;
+        cfg.seed = seed;
+        cfg.source.gamma.p_thr = p_thr;
+        DumbbellScenario s(cfg);
+        s.run_until(duration);
+        s.finish();
+        SweepOutput out;
+        out.rows.push_back(
+            {TablePrinter::fmt(p_thr, 2), std::to_string(seed),
+             TablePrinter::fmt(s.source(0).rate_series().mean_in(duration / 2, duration) / 1e3, 1),
+             TablePrinter::fmt(s.sink(0).mean_utility(), 4),
+             TablePrinter::fmt(s.loss_series(Color::kRed).mean_in(duration / 2, duration), 4)});
+        return out;
+      });
+    }
+  }
+  TablePrinter table({"p_thr", "seed", "rate (kb/s)", "utility", "red loss"});
+  SweepRunner runner(threads);
+  const auto t0 = Clock::now();
+  run_to_table(runner, std::move(tasks), table);
+  *wall_ms = ms_since(t0);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  return csv.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_pipeline.json";
+  std::string label = "now";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) label = argv[++i];
+  }
+  const SimTime pipeline_duration = (smoke ? 2 : 30) * kSecond;
+  const SimTime sweep_duration = (smoke ? 1 : 10) * kSecond;
+  const int reps = smoke ? 1 : 5;
+
+  print_banner(std::cout, "micro_pipeline: end-to-end packets/sec (4-flow dumbbell)");
+  std::vector<PipelineResult> runs;
+  for (int r = 0; r < reps; ++r) runs.push_back(run_pipeline(pipeline_duration));
+  std::sort(runs.begin(), runs.end(),
+            [](const PipelineResult& a, const PipelineResult& b) { return a.wall_ms < b.wall_ms; });
+  const PipelineResult& med = runs[runs.size() / 2];
+  const double pkts_per_sec = 1e3 * static_cast<double>(med.data_packets) / med.wall_ms;
+  const double events_per_sec = 1e3 * static_cast<double>(med.events) / med.wall_ms;
+  std::cout << "sizeof(Packet) = " << sizeof(Packet) << " bytes\n"
+            << "median wall    = " << TablePrinter::fmt(med.wall_ms, 1) << " ms for "
+            << med.data_packets << " delivered data packets\n"
+            << "throughput     = " << TablePrinter::fmt(pkts_per_sec / 1e3, 1)
+            << " k data pkts/s, " << TablePrinter::fmt(events_per_sec / 1e6, 2)
+            << " M events/s\n";
+
+  print_banner(std::cout, "SweepRunner scaling (8-point sweep, byte-identical check)");
+  double serial_ms = 0.0;
+  const std::string serial_csv = run_sweep(1, sweep_duration, &serial_ms);
+  struct Scale { unsigned threads; double wall_ms; bool identical; };
+  std::vector<Scale> scaling{{1, serial_ms, true}};
+  for (unsigned t : {2u, 4u, 8u}) {
+    double ms = 0.0;
+    const std::string csv = run_sweep(t, sweep_duration, &ms);
+    scaling.push_back({t, ms, csv == serial_csv});
+  }
+  TablePrinter table({"threads", "wall (ms)", "speedup", "csv identical"});
+  for (const Scale& sc : scaling) {
+    table.add_row({std::to_string(sc.threads), TablePrinter::fmt(sc.wall_ms, 1),
+                   TablePrinter::fmt(serial_ms / sc.wall_ms, 2), sc.identical ? "yes" : "NO"});
+    if (!sc.identical) {
+      std::cerr << "FATAL: threads=" << sc.threads << " CSV differs from serial run\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(hardware threads available: " << std::thread::hardware_concurrency() << ")\n";
+
+  std::ofstream json(json_path, std::ios::trunc);
+  json << "{\n"
+       << "  \"bench\": \"micro_pipeline\",\n"
+       << "  \"label\": \"" << label << "\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"sizeof_packet_bytes\": " << sizeof(Packet) << ",\n"
+       << "  \"pipeline\": {\n"
+       << "    \"sim_seconds\": " << to_seconds(pipeline_duration) << ",\n"
+       << "    \"reps\": " << reps << ",\n"
+       << "    \"median_wall_ms\": " << med.wall_ms << ",\n"
+       << "    \"data_packets\": " << med.data_packets << ",\n"
+       << "    \"data_pkts_per_sec\": " << pkts_per_sec << ",\n"
+       << "    \"events_per_sec\": " << events_per_sec << "\n"
+       << "  },\n"
+       << "  \"sweep_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    json << "    {\"threads\": " << scaling[i].threads << ", \"wall_ms\": " << scaling[i].wall_ms
+         << ", \"speedup\": " << serial_ms / scaling[i].wall_ms
+         << ", \"identical_to_serial\": " << (scaling[i].identical ? "true" : "false") << "}"
+         << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "exp/sweep.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/table.h"
+
+namespace pels {
+
+unsigned SweepRunner::default_threads() {
+  if (const char* env = std::getenv("PELS_SWEEP_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(unsigned threads) {
+  unsigned n = threads == 0 ? default_threads() : threads;
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (batch_ != nullptr && next_job_ < batch_->size());
+    });
+    if (stop_) return;
+    std::function<void()>& job = (*batch_)[next_job_++];
+    lock.unlock();
+    job();  // noexcept by contract (run() wraps task exceptions)
+    lock.lock();
+    if (++jobs_done_ == batch_->size()) done_cv_.notify_all();
+  }
+}
+
+void SweepRunner::run_jobs(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  // One batch at a time; a second submitter waits for the pool to go idle.
+  done_cv_.wait(lock, [this] { return batch_ == nullptr; });
+  batch_ = &jobs;
+  next_job_ = 0;
+  jobs_done_ = 0;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this, &jobs] { return jobs_done_ == jobs.size(); });
+  batch_ = nullptr;
+  done_cv_.notify_all();  // wake any submitter waiting for the pool
+}
+
+std::string run_to_table(SweepRunner& runner,
+                         std::vector<std::function<SweepOutput()>> tasks,
+                         TablePrinter& table) {
+  auto outcomes = runner.run(std::move(tasks));
+  std::ostringstream errors;
+  std::string text;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      errors << "  task " << i << ": " << outcomes[i].error << '\n';
+      continue;
+    }
+    for (auto& row : outcomes[i].value->rows) table.add_row(std::move(row));
+    text += outcomes[i].value->text;
+  }
+  const std::string failed = errors.str();
+  if (!failed.empty()) throw std::runtime_error("sweep task(s) failed:\n" + failed);
+  return text;
+}
+
+}  // namespace pels

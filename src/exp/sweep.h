@@ -1,0 +1,123 @@
+// Parallel experiment execution: a fixed thread pool running independent
+// simulation tasks.
+//
+// Every bench/figure harness and scenario-level test sweeps a parameter grid
+// (config points x seeds) where each point builds its own Simulation,
+// Scheduler, and Rng streams and shares nothing with the others. SweepRunner
+// exploits that: tasks are pulled FIFO from a work queue by a fixed pool of
+// worker threads, and each task writes its result into a slot indexed by
+// submission order. Results (and any buffered table rows / trace text) are
+// therefore reduced strictly in submission order after the join, which makes
+// the engine *provably deterministic*: a sweep at threads=N produces
+// bit-identical tables and metrics CSVs to threads=1, because no task can
+// observe another and no output is emitted from inside a worker.
+//
+// The simulator core itself stays single-threaded — parallelism lives only
+// at the experiment granularity (see DESIGN.md "Parallel experiments").
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pels {
+
+class TablePrinter;
+
+/// Result slot of one sweep task: the returned value, or the error message
+/// of the exception it threw. A throwing task (e.g. a config whose
+/// validate() raises std::invalid_argument) is reported here per task and
+/// never takes down the process or the rest of the batch.
+template <typename R>
+struct TaskOutcome {
+  std::optional<R> value;
+  std::string error;  // non-empty iff the task threw
+
+  bool ok() const { return value.has_value(); }
+};
+
+/// Buffered output of one bench task: table rows plus free-form text.
+/// Workers never print; run_to_table() appends rows and emits text in
+/// submission order after the join, so going parallel can neither interleave
+/// nor reorder a bench's stdout.
+struct SweepOutput {
+  std::vector<std::vector<std::string>> rows;
+  std::string text;
+};
+
+class SweepRunner {
+ public:
+  /// Starts `threads` workers; 0 means default_threads(). Workers live for
+  /// the runner's lifetime (fixed pool, no per-batch spawning).
+  explicit SweepRunner(unsigned threads = 0);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Thread count used when none is given: PELS_SWEEP_THREADS when set to a
+  /// positive integer, else std::thread::hardware_concurrency(), floored
+  /// at 1.
+  static unsigned default_threads();
+
+  /// Runs every task on the pool and returns their outcomes in submission
+  /// order. Exceptions are captured per task (std::exception::what, or a
+  /// placeholder for non-standard throws). Tasks must be independent and
+  /// must not submit work to this runner (the batch would deadlock on
+  /// itself).
+  template <typename R>
+  std::vector<TaskOutcome<R>> run(std::vector<std::function<R()>> tasks) {
+    std::vector<TaskOutcome<R>> outcomes(tasks.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      jobs.push_back([&tasks, &outcomes, i] {
+        try {
+          outcomes[i].value.emplace(tasks[i]());
+        } catch (const std::exception& e) {
+          outcomes[i].error = e.what();
+        } catch (...) {
+          outcomes[i].error = "non-standard exception";
+        }
+      });
+    }
+    run_jobs(std::move(jobs));
+    return outcomes;
+  }
+
+  /// Type-erased batch execution: runs each job exactly once, returns after
+  /// all have completed. Jobs must not throw (run() wraps tasks so they
+  /// cannot). Batches are serialized: concurrent callers take turns.
+  void run_jobs(std::vector<std::function<void()>> jobs);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a job or stop is available
+  std::condition_variable done_cv_;  // submitters: batch finished / pool free
+  std::vector<std::function<void()>>* batch_ = nullptr;  // current batch
+  std::size_t next_job_ = 0;
+  std::size_t jobs_done_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs one buffered-output task per parameter point and merges the results
+/// in submission order: every task's rows are appended to `table`, and the
+/// concatenation of the non-empty `text` fields (also in order) is returned
+/// for the caller to print after the table. If any task threw, throws
+/// std::runtime_error naming each failed point and its error — bench
+/// harnesses prefer one loud failure to a silently partial table.
+std::string run_to_table(SweepRunner& runner,
+                         std::vector<std::function<SweepOutput()>> tasks,
+                         TablePrinter& table);
+
+}  // namespace pels

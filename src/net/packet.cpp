@@ -1,6 +1,46 @@
 #include "net/packet.h"
 
+#include <new>
+#include <vector>
+
 namespace pels {
+
+namespace {
+/// Recycled AckInfo blocks. Capacity is reserved up front so the noexcept
+/// operator delete can push without ever reallocating; the list length is
+/// naturally bounded by the per-thread peak of in-flight acks, with the cap
+/// as a backstop.
+constexpr std::size_t kAckFreelistCap = 4096;
+
+struct AckFreelist {
+  std::vector<void*> blocks;
+  ~AckFreelist() {
+    for (void* p : blocks) ::operator delete(p);
+  }
+};
+thread_local AckFreelist ack_freelist;
+}  // namespace
+
+void* AckInfo::operator new(std::size_t size) {
+  auto& list = ack_freelist.blocks;
+  if (size == sizeof(AckInfo) && !list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  if (list.capacity() == 0) list.reserve(kAckFreelistCap);
+  return ::operator new(size);
+}
+
+void AckInfo::operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  auto& list = ack_freelist.blocks;
+  if (list.size() < list.capacity()) {
+    list.push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
 
 const char* color_name(Color c) {
   switch (c) {

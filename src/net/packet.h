@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 
+#include "util/box.h"
 #include "util/time.h"
 
 namespace pels {
@@ -119,6 +119,13 @@ struct AckInfo {
   std::uint64_t recv_red = 0;
   std::uint64_t recv_fgs_bytes = 0;  // cumulative yellow+red payload bytes
   std::uint64_t recv_marked = 0;     // cumulative ECN-marked data packets
+
+  /// Boxed acks (see Packet::ack) churn at one allocation/free per data
+  /// packet; a thread-local freelist makes that churn allocation-free in
+  /// steady state. Thread-local, not global, because SweepRunner workers
+  /// run disjoint simulations concurrently (share-nothing task model).
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
 };
 
 struct Packet {
@@ -139,10 +146,24 @@ struct Packet {
   std::int64_t frame_id = -1;
   std::int32_t frame_offset = -1;
 
-  FeedbackLabel feedback;       // stamped/updated by PELS routers en route
-  std::optional<AckInfo> ack;   // present only on acknowledgement packets
+  FeedbackLabel feedback;  // stamped/updated by PELS routers en route
+  /// Present only on acknowledgement packets. Boxed, not inline: AckInfo is
+  /// ~100 bytes and acks are a minority of queue traffic, so data packets
+  /// moving through the Link -> queue -> router chain carry one null pointer
+  /// instead of an empty 112-byte std::optional slot.
+  Box<AckInfo> ack;
 
   bool is_ack() const { return ack.has_value(); }
 };
+
+// Hot-path memory budget: every enqueue, scheduler lambda, and deque slot
+// carries a Packet by value, so its size is a throughput knob
+// (bench/micro_pipeline). 112 bytes = headers + 40-byte feedback label +
+// 8-byte boxed ack pointer on LP64; the slack to 128 allows a couple of new
+// header fields, but re-inlining a payload (the optional<AckInfo> this
+// replaced was +104 bytes) must fail here, loudly, at compile time.
+static_assert(sizeof(void*) != 8 || sizeof(Packet) <= 128,
+              "Packet outgrew its hot-path budget; box large payloads instead "
+              "of inlining them (see bench/micro_pipeline)");
 
 }  // namespace pels

@@ -128,7 +128,7 @@ void PelsSink::send_ack(const Packet& data) {
   info.recv_red = recv_[static_cast<std::size_t>(Color::kRed)];
   info.recv_fgs_bytes = recv_fgs_bytes_;
   info.recv_marked = recv_marked_;
-  ack.ack = info;
+  ack.ack = std::move(info);
   host_.send(std::move(ack));
 }
 

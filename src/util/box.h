@@ -1,0 +1,72 @@
+// Heap-boxed optional value with deep-copy (value) semantics.
+//
+// Box<T> stores T out of line behind one pointer so a rarely-present payload
+// does not widen its owning struct: Packet carries its ~100-byte AckInfo in
+// a Box instead of an inline std::optional, which shrinks every *data*
+// packet copied through the Link -> queue -> router hot path to the size of
+// the headers alone. Copying a Box clones the T (like std::optional, unlike
+// unique_ptr), so Packet stays freely copyable; moving steals the pointer,
+// so the move-only enqueue/forward chain never touches the payload at all.
+// The interface mirrors the subset of std::optional the packet paths use.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace pels {
+
+template <typename T>
+class Box {
+ public:
+  Box() = default;
+  Box(const T& v) : ptr_(std::make_unique<T>(v)) {}          // NOLINT(runtime/explicit)
+  Box(T&& v) : ptr_(std::make_unique<T>(std::move(v))) {}    // NOLINT(runtime/explicit)
+
+  Box(const Box& other) : ptr_(other.ptr_ ? std::make_unique<T>(*other.ptr_) : nullptr) {}
+  Box(Box&& other) noexcept = default;
+
+  Box& operator=(const Box& other) {
+    if (this == &other) return *this;
+    if (!other.ptr_) {
+      ptr_.reset();
+    } else if (ptr_) {
+      *ptr_ = *other.ptr_;  // reuse the existing allocation
+    } else {
+      ptr_ = std::make_unique<T>(*other.ptr_);
+    }
+    return *this;
+  }
+  Box& operator=(Box&& other) noexcept = default;
+
+  Box& operator=(const T& v) {
+    if (ptr_) *ptr_ = v;
+    else ptr_ = std::make_unique<T>(v);
+    return *this;
+  }
+  Box& operator=(T&& v) {
+    if (ptr_) *ptr_ = std::move(v);
+    else ptr_ = std::make_unique<T>(std::move(v));
+    return *this;
+  }
+
+  explicit operator bool() const { return ptr_ != nullptr; }
+  bool has_value() const { return ptr_ != nullptr; }
+
+  T& operator*() { return *ptr_; }
+  const T& operator*() const { return *ptr_; }
+  T* operator->() { return ptr_.get(); }
+  const T* operator->() const { return ptr_.get(); }
+
+  template <typename... Args>
+  T& emplace(Args&&... args) {
+    ptr_ = std::make_unique<T>(std::forward<Args>(args)...);
+    return *ptr_;
+  }
+
+  void reset() { ptr_.reset(); }
+
+ private:
+  std::unique_ptr<T> ptr_;
+};
+
+}  // namespace pels

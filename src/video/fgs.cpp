@@ -58,7 +58,7 @@ void emit_segment(const VideoConfig& cfg, const FramePlan& plan, Color color,
     pkt.frame_id = plan.frame_id;
     pkt.frame_offset =
         color == Color::kGreen ? -1 : static_cast<std::int32_t>(fgs_offset + sent);
-    out.push_back(pkt);
+    out.push_back(std::move(pkt));
     sent += chunk;
   }
 }

@@ -12,6 +12,7 @@
 
 #include "analysis/stability.h"
 #include "cc/mkc.h"
+#include "exp/sweep.h"
 #include "pels/metrics.h"
 #include "pels/scenario.h"
 #include "util/stats.h"
@@ -76,19 +77,31 @@ TEST(RobustnessTest, SurvivesAckLoss) {
   // 20% of ACKs vanish: feedback arrives via the surviving ACKs (every data
   // packet is acknowledged, and epochs are consumed at most once anyway), so
   // the equilibrium must be unchanged.
-  ScenarioConfig clean_cfg = base_config(2);
-  DumbbellScenario clean(clean_cfg);
-  clean.run_until(30 * kSecond);
-  ScenarioConfig lossy_cfg = base_config(2);
-  lossy_cfg.ack_loss = 0.2;
-  DumbbellScenario lossy(lossy_cfg);
-  lossy.run_until(30 * kSecond);
-
-  const double clean_rate = clean.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
-  const double lossy_rate = lossy.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  // The clean and lossy runs are independent simulations — run the pair
+  // through the sweep engine (exercises the share-nothing task model).
+  struct Run {
+    double rate;
+    double utility;
+  };
+  std::vector<std::function<Run()>> tasks;
+  for (double ack_loss : {0.0, 0.2}) {
+    tasks.push_back([ack_loss] {
+      ScenarioConfig cfg = base_config(2);
+      cfg.ack_loss = ack_loss;
+      DumbbellScenario s(cfg);
+      s.run_until(30 * kSecond);
+      const double rate = s.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+      s.finish();
+      return Run{rate, s.sink(0).mean_utility()};
+    });
+  }
+  SweepRunner runner;
+  const auto outcomes = runner.run(std::move(tasks));
+  ASSERT_TRUE(outcomes[0].ok() && outcomes[1].ok());
+  const double clean_rate = outcomes[0].value->rate;
+  const double lossy_rate = outcomes[1].value->rate;
   EXPECT_NEAR(lossy_rate, clean_rate, clean_rate * 0.05);
-  lossy.finish();
-  EXPECT_GT(lossy.sink(0).mean_utility(), 0.95);
+  EXPECT_GT(outcomes[1].value->utility, 0.95);
 }
 
 TEST(RobustnessTest, HeavyAckLossDegradesGracefully) {
@@ -110,15 +123,21 @@ TEST(RobustnessTest, HeavyAckLossDegradesGracefully) {
 TEST(RobustnessTest, WirelessLossDoesNotConfuseMkc) {
   // Corruption happens after the queue; MKC's demand-based feedback cannot
   // see it, so the sending rate must be unchanged (unlike loss-based CC).
-  ScenarioConfig clean_cfg = base_config(2);
-  DumbbellScenario clean(clean_cfg);
-  clean.run_until(30 * kSecond);
-  ScenarioConfig lossy_cfg = base_config(2);
-  lossy_cfg.wireless_loss = 0.05;
-  DumbbellScenario lossy(lossy_cfg);
-  lossy.run_until(30 * kSecond);
-  const double r_clean = clean.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
-  const double r_lossy = lossy.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+  std::vector<std::function<double()>> tasks;
+  for (double wireless_loss : {0.0, 0.05}) {
+    tasks.push_back([wireless_loss] {
+      ScenarioConfig cfg = base_config(2);
+      cfg.wireless_loss = wireless_loss;
+      DumbbellScenario s(cfg);
+      s.run_until(30 * kSecond);
+      return s.source(0).rate_series().mean_in(20 * kSecond, 30 * kSecond);
+    });
+  }
+  SweepRunner runner;
+  const auto outcomes = runner.run(std::move(tasks));
+  ASSERT_TRUE(outcomes[0].ok() && outcomes[1].ok());
+  const double r_clean = *outcomes[0].value;
+  const double r_lossy = *outcomes[1].value;
   EXPECT_NEAR(r_lossy, r_clean, r_clean * 0.03);
 }
 

@@ -1,0 +1,216 @@
+// SweepRunner tests: the determinism contract (threads=N produces
+// byte-identical CSV to threads=1, with and without fault injection), per-task
+// error capture, and the submission-order output buffering that makes going
+// parallel invisible in a bench's stdout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "pels/scenario.h"
+#include "util/table.h"
+
+namespace pels {
+namespace {
+
+// ------------------------------------------------------------ pool basics
+
+TEST(SweepRunnerTest, ExplicitThreadCountIsHonoured) {
+  SweepRunner one(1);
+  EXPECT_EQ(one.thread_count(), 1u);
+  SweepRunner four(4);
+  EXPECT_EQ(four.thread_count(), 4u);
+  EXPECT_GE(SweepRunner::default_threads(), 1u);
+}
+
+TEST(SweepRunnerTest, ResultsArriveInSubmissionOrder) {
+  SweepRunner runner(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i] {
+      // Earlier tasks sleep longer, so completion order inverts submission
+      // order — the result slots must not care.
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * (32 - i)));
+      return i * i;
+    });
+  }
+  const auto outcomes = runner.run(std::move(tasks));
+  ASSERT_EQ(outcomes.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(outcomes[i].ok());
+    EXPECT_EQ(*outcomes[i].value, i * i);
+  }
+}
+
+TEST(SweepRunnerTest, PoolIsReusableAcrossBatches) {
+  SweepRunner runner(2);
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back([batch, i] { return batch * 100 + i; });
+    const auto outcomes = runner.run(std::move(tasks));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(*outcomes[i].value, batch * 100 + i);
+  }
+}
+
+// ----------------------------------------------------- per-task error capture
+
+TEST(SweepRunnerTest, ThrowingTaskIsReportedPerTaskNotProcessFatal) {
+  SweepRunner runner(4);
+  std::atomic<int> completed{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i, &completed]() -> int {
+      if (i == 3) throw std::invalid_argument("p_thr out of range");
+      ++completed;
+      return i;
+    });
+  }
+  const auto outcomes = runner.run(std::move(tasks));
+  EXPECT_EQ(completed.load(), 7);
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].error, "p_thr out of range");
+    } else {
+      ASSERT_TRUE(outcomes[i].ok());
+      EXPECT_EQ(*outcomes[i].value, i);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, RunToTableNamesFailedPoints) {
+  SweepRunner runner(2);
+  TablePrinter table({"x"});
+  std::vector<std::function<SweepOutput()>> tasks;
+  tasks.push_back([] { return SweepOutput{{{"ok"}}, ""}; });
+  tasks.push_back([]() -> SweepOutput {
+    throw std::invalid_argument("bad config point");
+  });
+  try {
+    run_to_table(runner, std::move(tasks), table);
+    FAIL() << "run_to_table must throw when a task failed";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad config point"), std::string::npos);
+    EXPECT_NE(what.find("1"), std::string::npos);  // the failed task's index
+  }
+}
+
+// ------------------------------------------------ submission-order buffering
+
+TEST(SweepRunnerTest, RowsAndTextEmitInSubmissionOrder) {
+  SweepRunner runner(4);
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      // Invert completion order relative to submission order.
+      std::this_thread::sleep_for(std::chrono::microseconds(100 * (8 - i)));
+      SweepOutput out;
+      out.rows.push_back({"row" + std::to_string(i)});
+      out.text = "text" + std::to_string(i) + "\n";
+      return out;
+    });
+  }
+  TablePrinter table({"cell"});
+  const std::string text = run_to_table(runner, std::move(tasks), table);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  std::string expected_csv = "cell\n";
+  std::string expected_text;
+  for (int i = 0; i < 8; ++i) {
+    expected_csv += "row" + std::to_string(i) + "\n";
+    expected_text += "text" + std::to_string(i) + "\n";
+  }
+  EXPECT_EQ(csv.str(), expected_csv);
+  EXPECT_EQ(text, expected_text);
+}
+
+// --------------------------------------------------- determinism contract
+//
+// The real guarantee the engine sells: a scenario sweep run on 8 threads
+// produces byte-identical CSV to the same sweep run serially, because every
+// task owns its Simulation/Rng and results land in submission-order slots.
+
+std::string clean_sweep_csv(unsigned threads) {
+  SweepRunner runner(threads);
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (int flows : {1, 2}) {
+    for (std::uint64_t seed : {5u, 6u}) {
+      tasks.push_back([flows, seed] {
+        ScenarioConfig cfg;
+        cfg.pels_flows = flows;
+        cfg.tcp_flows = 2;
+        cfg.seed = seed;
+        DumbbellScenario s(cfg);
+        s.run_until(6 * kSecond);
+        s.finish();
+        SweepOutput out;
+        out.rows.push_back(
+            {TablePrinter::fmt_int(flows), TablePrinter::fmt_int(static_cast<long long>(seed)),
+             TablePrinter::fmt(s.source(0).rate_series().mean_in(3 * kSecond, 6 * kSecond), 1),
+             TablePrinter::fmt(s.sink(0).mean_utility(), 6)});
+        return out;
+      });
+    }
+  }
+  TablePrinter table({"flows", "seed", "rate", "utility"});
+  run_to_table(runner, std::move(tasks), table);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  return csv.str();
+}
+
+TEST(SweepRunnerTest, EightThreadsReproduceSerialCsvBytes) {
+  const std::string serial = clean_sweep_csv(1);
+  const std::string parallel = clean_sweep_csv(8);
+  EXPECT_EQ(parallel, serial);
+  // Sanity: the sweep actually produced data rows.
+  EXPECT_GT(serial.size(), std::string("flows,seed,rate,utility\n").size());
+}
+
+std::string fault_sweep_csv(unsigned threads) {
+  SweepRunner runner(threads);
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (int kind = 0; kind < 3; ++kind) {
+    tasks.push_back([kind] {
+      ScenarioConfig cfg;
+      cfg.pels_flows = 2;
+      cfg.tcp_flows = 2;
+      cfg.seed = 29;
+      FaultPlan plan;
+      if (kind == 1) plan.link_flaps.push_back({3 * kSecond, 4 * kSecond});
+      if (kind == 2) plan.ack_blackouts.push_back({3 * kSecond, 5 * kSecond});
+      cfg.faults = plan;
+      DumbbellScenario s(cfg);
+      s.run_until(8 * kSecond);
+      s.finish();
+      SweepOutput out;
+      out.rows.push_back(
+          {TablePrinter::fmt_int(kind),
+           TablePrinter::fmt(s.source(0).rate_series().mean_in(6 * kSecond, 8 * kSecond), 1),
+           TablePrinter::fmt(s.sink(0).mean_utility(), 6),
+           TablePrinter::fmt_int(static_cast<long long>(s.source(0).silent_intervals()))});
+      return out;
+    });
+  }
+  TablePrinter table({"fault", "rate", "utility", "silent"});
+  run_to_table(runner, std::move(tasks), table);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  return csv.str();
+}
+
+TEST(SweepRunnerTest, FaultPlanSweepIsDeterministicAcrossThreadCounts) {
+  const std::string serial = fault_sweep_csv(1);
+  EXPECT_EQ(fault_sweep_csv(8), serial);
+}
+
+}  // namespace
+}  // namespace pels

@@ -14,17 +14,68 @@
 // Usage: micro_pipeline [--smoke] [--json PATH] [--label NAME]
 //   --smoke shortens simulated durations so CI sanitizer jobs can afford it.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/sweep.h"
+#include "net/topology.h"
 #include "pels/scenario.h"
+#include "queue/drop_tail.h"
+#include "sim/timer.h"
 #include "util/table.h"
+
+// ---------------------------------------------------------------------------
+// Heap interposition (bench binary only): count every global allocation so
+// the steady-state probe below can assert the packet path allocates nothing.
+// Replacing operator new in this TU rebinds it for the whole binary; the
+// AckInfo freelist uses class-specific operators and is not counted (it is
+// allocation-free in steady state by construction).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<std::uint64_t> g_heap_frees{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_heap_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) { return counted_alloc(size, align); }
+void* operator new[](std::size_t size, std::align_val_t align) { return counted_alloc(size, align); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
 
 using namespace pels;
 
@@ -58,6 +109,81 @@ PipelineResult run_pipeline(SimTime duration) {
     for (std::size_t c = 0; c < kNumColors; ++c)
       r.data_packets += s.sink(i).packets_received(static_cast<Color>(c));
   r.events = s.sim().scheduler().executed();
+  return r;
+}
+
+/// Steady-state allocation probe: a 3-hop DropTail chain (host -> router ->
+/// router -> host) fed at exactly the link rate, so every subsystem this
+/// bench guards is on the path — scheduler slot pool, inplace callbacks,
+/// link transmit pipeline, DropTail ring, routing — and nothing else (no
+/// samplers, no ACKs, no series growth). After warm-up the expectation is
+/// literally zero heap traffic and one coalesced pipeline event per packet
+/// per hop (plus the pacing timer's one event per packet, subtracted out).
+struct AllocProbeResult {
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_frees = 0;
+  std::uint64_t packets = 0;  // delivered end-to-end during the window
+  int hops = 3;
+  double allocs_per_packet = 0.0;
+  double events_per_packet_per_hop = 0.0;
+  std::size_t heap_capacity_growth = 0;  // scheduler vector growth mid-run
+  std::size_t slot_capacity_growth = 0;
+};
+
+AllocProbeResult run_alloc_probe(SimTime warmup, SimTime window) {
+  Simulation sim(1);
+  Topology topo(sim);
+  Host& src = topo.add_host("src");
+  Router& r1 = topo.add_router("r1");
+  Router& r2 = topo.add_router("r2");
+  Host& dst = topo.add_host("dst");
+  const double bps = 10e6;
+  const QueueFactory dt = [](double) { return std::make_unique<DropTailQueue>(256); };
+  Link& last = [&]() -> Link& {
+    topo.add_link(src, r1, bps, 2 * kMillisecond, dt);
+    topo.add_link(r1, r2, bps, 2 * kMillisecond, dt);
+    return topo.add_link(r2, dst, bps, 2 * kMillisecond, dt);
+  }();
+  topo.compute_routes();
+  topo.reserve_runtime(1);
+
+  const std::int32_t packet_bytes = 1000;
+  std::uint64_t uid = 0;
+  PeriodicTimer pacer(sim.scheduler(), transmission_time(packet_bytes, bps), [&] {
+    Packet pkt;
+    pkt.uid = ++uid;
+    pkt.flow = 7;
+    pkt.seq = uid;
+    pkt.size_bytes = packet_bytes;
+    pkt.src = src.id();
+    pkt.dst = dst.id();
+    pkt.created_at = sim.now();
+    src.send(std::move(pkt));
+  });
+  pacer.start();
+
+  sim.run_until(warmup);
+  const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t frees0 = g_heap_frees.load(std::memory_order_relaxed);
+  const std::uint64_t events0 = sim.scheduler().executed();
+  const std::uint64_t delivered0 = last.packets_delivered();
+  const Scheduler::Stats stats0 = sim.scheduler().stats();
+
+  sim.run_until(warmup + window);
+  const Scheduler::Stats stats1 = sim.scheduler().stats();
+
+  AllocProbeResult r;
+  r.steady_allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+  r.steady_frees = g_heap_frees.load(std::memory_order_relaxed) - frees0;
+  r.packets = last.packets_delivered() - delivered0;
+  const std::uint64_t events = sim.scheduler().executed() - events0;
+  // The pacer contributes exactly one event per injected packet; the rest is
+  // the link pipelines.
+  const double link_events = static_cast<double>(events) - static_cast<double>(r.packets);
+  r.allocs_per_packet = static_cast<double>(r.steady_allocs) / static_cast<double>(r.packets);
+  r.events_per_packet_per_hop = link_events / (static_cast<double>(r.packets) * r.hops);
+  r.heap_capacity_growth = stats1.heap_capacity - stats0.heap_capacity;
+  r.slot_capacity_growth = stats1.slot_capacity - stats0.slot_capacity;
   return r;
 }
 
@@ -119,12 +245,28 @@ int main(int argc, char** argv) {
   const PipelineResult& med = runs[runs.size() / 2];
   const double pkts_per_sec = 1e3 * static_cast<double>(med.data_packets) / med.wall_ms;
   const double events_per_sec = 1e3 * static_cast<double>(med.events) / med.wall_ms;
+  const double events_per_data_packet =
+      static_cast<double>(med.events) / static_cast<double>(med.data_packets);
   std::cout << "sizeof(Packet) = " << sizeof(Packet) << " bytes\n"
             << "median wall    = " << TablePrinter::fmt(med.wall_ms, 1) << " ms for "
             << med.data_packets << " delivered data packets\n"
             << "throughput     = " << TablePrinter::fmt(pkts_per_sec / 1e3, 1)
             << " k data pkts/s, " << TablePrinter::fmt(events_per_sec / 1e6, 2)
-            << " M events/s\n";
+            << " M events/s (" << TablePrinter::fmt(events_per_data_packet, 2)
+            << " events per delivered data packet, timers and acks included)\n";
+
+  print_banner(std::cout, "steady-state allocation probe (3-hop DropTail chain)");
+  const AllocProbeResult probe =
+      run_alloc_probe((smoke ? 1 : 2) * kSecond, (smoke ? 2 : 8) * kSecond);
+  std::cout << "steady window  = " << probe.packets << " packets end to end over "
+            << probe.hops << " hops\n"
+            << "heap traffic   = " << probe.steady_allocs << " allocs, " << probe.steady_frees
+            << " frees  ->  " << TablePrinter::fmt(probe.allocs_per_packet, 4)
+            << " allocs/packet\n"
+            << "link events    = " << TablePrinter::fmt(probe.events_per_packet_per_hop, 4)
+            << " per packet per hop (pacing timer subtracted)\n"
+            << "scheduler pool = +" << probe.heap_capacity_growth << " heap, +"
+            << probe.slot_capacity_growth << " slot capacity growth mid-run\n";
 
   print_banner(std::cout, "SweepRunner scaling (8-point sweep, byte-identical check)");
   double serial_ms = 0.0;
@@ -161,7 +303,18 @@ int main(int argc, char** argv) {
        << "    \"median_wall_ms\": " << med.wall_ms << ",\n"
        << "    \"data_packets\": " << med.data_packets << ",\n"
        << "    \"data_pkts_per_sec\": " << pkts_per_sec << ",\n"
-       << "    \"events_per_sec\": " << events_per_sec << "\n"
+       << "    \"events_per_sec\": " << events_per_sec << ",\n"
+       << "    \"events_per_data_packet\": " << events_per_data_packet << "\n"
+       << "  },\n"
+       << "  \"alloc_probe\": {\n"
+       << "    \"packets\": " << probe.packets << ",\n"
+       << "    \"hops\": " << probe.hops << ",\n"
+       << "    \"steady_allocs\": " << probe.steady_allocs << ",\n"
+       << "    \"steady_frees\": " << probe.steady_frees << ",\n"
+       << "    \"allocs_per_packet\": " << probe.allocs_per_packet << ",\n"
+       << "    \"events_per_packet_per_hop\": " << probe.events_per_packet_per_hop << ",\n"
+       << "    \"scheduler_heap_capacity_growth\": " << probe.heap_capacity_growth << ",\n"
+       << "    \"scheduler_slot_capacity_growth\": " << probe.slot_capacity_growth << "\n"
        << "  },\n"
        << "  \"sweep_scaling\": [\n";
   for (std::size_t i = 0; i < scaling.size(); ++i) {

@@ -1,8 +1,18 @@
 #include "net/link.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pels {
+
+// The whole point of the inplace-callback change is that a lambda moving a
+// Packet fits the scheduler's inline budget. Pin the relationship so a Packet
+// growth that would silently re-introduce per-event heap traffic fails the
+// build here instead. (The pipeline itself only ever schedules a bare
+// [this] capture; this guards the rest of the tree.)
+static_assert(Scheduler::Callback::capacity() >= sizeof(Packet) + 2 * sizeof(void*),
+              "kSchedulerCallbackCapacity (sim/scheduler.h) must fit a moved "
+              "Packet capture plus housekeeping pointers");
 
 Link::Link(Simulation& sim, Node& dst, double bandwidth_bps, SimTime prop_delay,
            std::unique_ptr<QueueDisc> queue)
@@ -18,43 +28,99 @@ Link::Link(Simulation& sim, Node& dst, double bandwidth_bps, SimTime prop_delay,
 
 bool Link::send(Packet pkt) {
   const bool accepted = queue_->enqueue(std::move(pkt));
-  if (accepted && !busy_ && up_) try_transmit();
+  if (!accepted || !up_) return accepted;
+  const SimTime now = sim_.now();
+  if (busy_until_ <= now) {
+    // The wire went idle without an event (nothing was queued behind it when
+    // the last serialization ended); settle that completion lazily and start.
+    wire_settled_ = true;
+    while (up_ && busy_until_ <= now && start_transmission(now)) {
+    }
+  }
+  reschedule(now);
   return accepted;
 }
 
-void Link::try_transmit() {
-  assert(!busy_);
-  if (!up_) return;
+bool Link::start_transmission(SimTime now) {
   auto pkt = queue_->dequeue();
-  if (!pkt) return;
-  busy_ = true;
+  if (!pkt) return false;
+  // Charge the *previous* serialization window in full; the new one is
+  // pro-rated by utilization() until the next start charges it here.
+  busy_time_ += busy_until_ - tx_start_;
   const SimTime tx = transmission_time(pkt->size_bytes, bandwidth_bps_);
-  busy_time_ += tx;
-  sim_.after(tx, [this, p = std::move(*pkt)]() mutable { on_transmit_done(std::move(p)); });
+  tx_start_ = now;
+  busy_until_ = now + tx;
+  wire_settled_ = false;
+  InFlight entry;
+  entry.pkt = std::move(*pkt);
+  entry.tx_end = busy_until_;
+  entry.deliver_at = busy_until_ + prop_delay_;
+  ring_.push_back(std::move(entry));
+  return true;
 }
 
-void Link::on_transmit_done(Packet pkt) {
-  // Serialization finished: the wire is free for the next packet while this
-  // one propagates.
-  busy_ = false;
-  if (!up_ || corrupted_on_wire(sim_.now())) {
-    // Corrupted (or the carrier dropped mid-serialization): link time was
-    // spent, nothing arrives.
+void Link::on_pipeline_event() {
+  pending_event_ = 0;
+  ++pipeline_events_;
+  const SimTime now = sim_.now();
+  while (!ring_.empty() && ring_.front().deliver_at <= now) deliver_front();
+  if (busy_until_ <= now) {
+    wire_settled_ = true;
+    while (up_ && busy_until_ <= now && start_transmission(now)) {
+    }
+  }
+  reschedule(now);
+}
+
+void Link::deliver_front() {
+  InFlight entry = ring_.pop_front();
+  if (entry.wire_lost) {
+    // Carrier dropped during serialization: link time was spent, nothing
+    // arrives, and — matching the short-circuit the event-per-packet code
+    // had — the corruption processes never see the packet.
     ++corrupted_;
-    try_transmit();
+    return;
+  }
+  if (!corruption_.empty() && corrupted_on_wire(entry.tx_end)) {
+    ++corrupted_;
     return;
   }
   ++delivered_;
-  bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
-  sim_.after(prop_delay_, [this, p = std::move(pkt)]() mutable { dst_.receive(std::move(p)); });
-  try_transmit();
+  bytes_delivered_ += static_cast<std::uint64_t>(entry.pkt.size_bytes);
+  dst_.receive(std::move(entry.pkt));
 }
 
-bool Link::corrupted_on_wire(SimTime now) {
+void Link::reschedule(SimTime now) {
+  // The next thing this link must do: deliver the ring head, or pull the
+  // next queued packet when the wire frees up. One event covers both; when
+  // the deadlines coincide (common at a saturated bottleneck) the handler
+  // does both in a single dispatch.
+  SimTime next = -1;
+  if (!ring_.empty()) next = ring_.front().deliver_at;
+  if (up_ && busy_until_ > now && !queue_->empty() &&
+      (next < 0 || busy_until_ < next)) {
+    next = busy_until_;
+  }
+  if (next < 0) {
+    if (pending_event_ != 0) {
+      sim_.scheduler().cancel(pending_event_);
+      pending_event_ = 0;
+    }
+    return;
+  }
+  if (pending_event_ != 0) {
+    if (pending_at_ == next) return;
+    sim_.scheduler().cancel(pending_event_);
+  }
+  pending_at_ = next;
+  pending_event_ = sim_.at(next, [this] { on_pipeline_event(); });
+}
+
+bool Link::corrupted_on_wire(SimTime tx_end) {
   // Evaluate every process (no short-circuit): stateful chains must see
   // every packet to evolve their state deterministically.
   bool lost = false;
-  for (CorruptionProcess& p : corruption_) lost = p(now) || lost;
+  for (CorruptionProcess& p : corruption_) lost = p(tx_end) || lost;
   return lost;
 }
 
@@ -71,7 +137,24 @@ void Link::add_corruption(CorruptionProcess process) {
 void Link::set_up(bool up) {
   if (up_ == up) return;
   up_ = up;
-  if (up_ && !busy_) try_transmit();
+  const SimTime now = sim_.now();
+  // The packet being serialized right now (if any) sits at the ring back;
+  // its completion has not been settled and its window covers `now`.
+  const bool on_wire = !ring_.empty() && !wire_settled_ && busy_until_ >= now;
+  if (!up_) {
+    if (on_wire) ring_.back().wire_lost = true;
+  } else {
+    // A down/up cycle completed within one serialization window leaves the
+    // frame intact, exactly like the event-per-packet code (the wire check
+    // happened only at serialization end).
+    if (on_wire) ring_.back().wire_lost = false;
+    if (busy_until_ <= now) {
+      wire_settled_ = true;
+      while (up_ && busy_until_ <= now && start_transmission(now)) {
+      }
+    }
+  }
+  reschedule(now);
 }
 
 void Link::set_bandwidth_bps(double bandwidth_bps) {
@@ -82,7 +165,10 @@ void Link::set_bandwidth_bps(double bandwidth_bps) {
 double Link::utilization() const {
   const SimTime elapsed = sim_.now();
   if (elapsed <= 0) return 0.0;
-  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+  // busy_time_ holds finished serializations charged at the *next* start;
+  // add the current/last window pro-rated up to now.
+  const SimTime live = std::min(elapsed, busy_until_) - tx_start_;
+  return static_cast<double>(busy_time_ + live) / static_cast<double>(elapsed);
 }
 
 }  // namespace pels

@@ -6,6 +6,16 @@
 // size*8/bandwidth, then delivered to the destination node after the
 // propagation delay. Serialization is exclusive (one packet at a time);
 // propagation is pipelined, as on a real wire.
+//
+// Event model (see DESIGN.md "Event model"): the link is a transmit pipeline
+// with at most ONE pending scheduler event, scheduled at the earlier of the
+// next serialization completion (armed only while a packet is waiting behind
+// the wire) and the head in-flight packet's arrival. In-flight packets live
+// in a link-owned FIFO ring — propagation delay is constant per link, so
+// arrivals are FIFO and only the head ever needs a timer. Nothing on this
+// path captures a packet into a scheduler callback, so the steady state
+// allocates nothing and executes one event per packet instead of the two
+// (serialization-done + delivery) the naive formulation costs.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +27,7 @@
 #include "net/packet.h"
 #include "net/queue_disc.h"
 #include "sim/simulation.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -55,14 +66,17 @@ class Link {
   /// congestion control (bench/ablation_wireless).
   void set_corruption(double prob, Rng rng);
 
-  /// Per-packet corruption decision, consulted once per serialized packet.
+  /// Per-packet corruption decision, consulted once per serialized packet
+  /// with that packet's serialization-end timestamp.
   using CorruptionProcess = std::function<bool(SimTime now)>;
 
   /// Adds a corruption process alongside any existing ones (a packet is lost
   /// when *any* process says so). Every process sees every packet, so
   /// stateful models (Gilbert–Elliott chains, blackout windows — see
   /// src/fault/loss_process.h) evolve deterministically regardless of what
-  /// the other processes decide.
+  /// the other processes decide. Install processes before traffic flows: the
+  /// pipeline evaluates corruption when a packet leaves the wire, so a
+  /// process added mid-run first sees the packets serialized after the call.
   void add_corruption(CorruptionProcess process);
 
   std::uint64_t packets_corrupted() const { return corrupted_; }
@@ -75,26 +89,71 @@ class Link {
   bool is_up() const { return up_; }
 
   /// Fraction of elapsed time the link spent transmitting since creation.
+  /// A serialization in progress is pro-rated up to now — it never charges
+  /// wire time that has not been spent yet.
   double utilization() const;
 
   std::uint64_t packets_delivered() const { return delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Pipeline events executed so far (diagnostics: the coalesced event model
+  /// fires at most one of these per packet in steady state).
+  std::uint64_t pipeline_events() const { return pipeline_events_; }
+
+  /// In-flight packets (serializing + propagating). The pending scheduler
+  /// footprint stays one event no matter how large this gets.
+  std::size_t packets_in_flight() const { return ring_.size(); }
+
+  /// Pre-sizes the in-flight ring (e.g. from a topology-level estimate of
+  /// bandwidth-delay product) so steady state never grows it mid-run.
+  void reserve_in_flight(std::size_t packets) { ring_.reserve(packets); }
+
  private:
-  void try_transmit();
-  void on_transmit_done(Packet pkt);
-  bool corrupted_on_wire(SimTime now);
+  /// One packet on the wire: serializing until `tx_end`, arriving at
+  /// `deliver_at` = tx_end + prop_delay (constant per link, so ring order is
+  /// delivery order). `wire_lost` records a carrier drop mid-serialization.
+  struct InFlight {
+    Packet pkt;
+    SimTime tx_end = 0;
+    SimTime deliver_at = 0;
+    bool wire_lost = false;
+  };
+
+  void on_pipeline_event();
+  /// Starts serializing the queue head at `now`; false if the queue is empty.
+  bool start_transmission(SimTime now);
+  /// Pops and resolves the ring head: corruption (evaluated with the recorded
+  /// serialization-end time, preserving order and timestamps) or delivery.
+  void deliver_front();
+  /// Re-arms the single pending event at the earliest due deadline.
+  void reschedule(SimTime now);
+  bool corrupted_on_wire(SimTime tx_end);
 
   Simulation& sim_;
   Node& dst_;
   double bandwidth_bps_;
   SimTime prop_delay_;
   std::unique_ptr<QueueDisc> queue_;
-  bool busy_ = false;
   bool up_ = true;
-  SimTime busy_time_ = 0;  // cumulative serialization time
+
+  // Wire state. The wire is busy while now < busy_until_; completion is
+  // processed lazily (no event when nothing is queued behind the wire).
+  SimTime tx_start_ = 0;      // current/last serialization start
+  SimTime busy_until_ = 0;    // current/last serialization end
+  bool wire_settled_ = true;  // completion at busy_until_ already processed
+  SimTime busy_time_ = 0;     // serialization time of *finished* packets
+
+  // In-flight FIFO ring (power-of-two capacity, grown on demand; steady
+  // state never allocates).
+  RingBuffer<InFlight> ring_;
+
+  // The single pending scheduler event (0 = none) and its deadline.
+  EventId pending_event_ = 0;
+  SimTime pending_at_ = 0;
+
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t pipeline_events_ = 0;
   std::vector<CorruptionProcess> corruption_;
   std::uint64_t corrupted_ = 0;
 };

@@ -39,6 +39,23 @@ std::pair<Link*, Link*> Topology::connect(Node& a, Node& b, double bandwidth_bps
   return {&ab, &ba};
 }
 
+void Topology::reserve_runtime(std::size_t expected_flows) {
+  // One coalesced pipeline event per link, one pacing/feedback timer pair
+  // per flow, plus slack for scenario samplers and fault injectors: a
+  // generous constant factor costs a few KB once, and warm-up then never
+  // grows the scheduler's heap or slot pool mid-run (Scheduler::Stats
+  // heap_capacity/slot_capacity let tests assert that).
+  const std::size_t events = 16 + 2 * links_.size() + 4 * expected_flows;
+  sim_.scheduler().reserve(events);
+  for (auto& link : links_) {
+    // Bandwidth-delay product in packets, assuming ~1000-byte packets: the
+    // deepest the in-flight ring can get in steady state.
+    const double bdp_packets =
+        link->bandwidth_bps() * (static_cast<double>(link->prop_delay()) / kSecond) / 8000.0;
+    link->reserve_in_flight(static_cast<std::size_t>(bdp_packets) + 2);
+  }
+}
+
 void Topology::compute_routes() {
   const std::size_t n = nodes_.size();
   // Adjacency: outgoing edges per node, in creation order (deterministic).

@@ -47,6 +47,11 @@ class Topology {
   /// the graph is complete; may be called again if links are added later.
   void compute_routes();
 
+  /// Pre-sizes the scheduler's event pool and every link's in-flight ring
+  /// from the topology (links, expected flows) so the steady state never
+  /// grows them mid-run. Call once after the graph is complete.
+  void reserve_runtime(std::size_t expected_flows);
+
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
   Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }

@@ -171,6 +171,7 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
   }
 
   topo_.compute_routes();
+  topo_.reserve_runtime(static_cast<std::size_t>(cfg_.pels_flows + cfg_.tcp_flows));
 
   for (int i = 0; i < cfg_.pels_flows; ++i) {
     const auto idx = static_cast<std::size_t>(i);

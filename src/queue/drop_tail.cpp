@@ -8,6 +8,7 @@ DropTailQueue::DropTailQueue(std::size_t limit_packets, std::int64_t limit_bytes
     : limit_packets_(limit_packets), limit_bytes_(limit_bytes) {
   assert(limit_packets_ > 0);
   assert(limit_bytes_ > 0);
+  if (limit_packets_ != kUnlimitedPackets) fifo_.reserve(limit_packets_);
 }
 
 bool DropTailQueue::enqueue(Packet pkt) {
@@ -23,8 +24,7 @@ bool DropTailQueue::enqueue(Packet pkt) {
 
 std::optional<Packet> DropTailQueue::dequeue() {
   if (fifo_.empty()) return std::nullopt;
-  Packet pkt = std::move(fifo_.front());
-  fifo_.pop_front();
+  Packet pkt = fifo_.pop_front();
   bytes_ -= pkt.size_bytes;
   counters().count_departure(pkt);
   return pkt;

@@ -1,10 +1,14 @@
 // DropTail: bounded FIFO, the baseline best-effort queue.
+//
+// Backed by a RingBuffer, not std::deque: deque block churn costs roughly
+// one allocation per 4-5 packets, which would be the last remaining heap
+// traffic on the steady-state packet path (see util/ring_buffer.h).
 #pragma once
 
-#include <deque>
 #include <limits>
 
 #include "net/queue_disc.h"
+#include "util/ring_buffer.h"
 
 namespace pels {
 
@@ -30,7 +34,7 @@ class DropTailQueue : public QueueDisc {
  private:
   std::size_t limit_packets_;
   std::int64_t limit_bytes_;
-  std::deque<Packet> fifo_;
+  RingBuffer<Packet> fifo_;
   std::int64_t bytes_ = 0;
 };
 

@@ -7,7 +7,10 @@
 // binary, so the layout matters):
 //   * Heap entries are small PODs {time, seq, slot, generation} in a 4-ary
 //     min-heap; the callbacks live in a pooled slot vector so sift
-//     operations never move a std::function.
+//     operations never move a callback.
+//   * Callbacks are fixed-capacity InplaceFunctions, not std::functions:
+//     packet-carrying captures (112-byte Packet moves) stay inside the slot
+//     instead of costing a heap allocation per event.
 //   * Cancellation is generation-tagged: an EventId packs (slot, generation)
 //     and cancel() just bumps the slot's generation — O(1), no hash lookups.
 //     A stale heap entry (generation mismatch) is skipped when it reaches
@@ -19,9 +22,9 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "util/inplace_function.h"
 #include "util/time.h"
 
 namespace pels {
@@ -30,9 +33,19 @@ namespace pels {
 /// slot generation). Generations start at 1, so 0 is never a valid id.
 using EventId = std::uint64_t;
 
+/// Inline capture budget for scheduler callbacks. Sized so a lambda moving a
+/// whole Packet (112 bytes, see net/packet.h) plus a couple of pointers fits
+/// without touching the heap; net/link.cpp pins the relationship with a
+/// static_assert so a Packet growth that would silently re-introduce
+/// per-event allocations fails the build instead.
+inline constexpr std::size_t kSchedulerCallbackCapacity = 144;
+
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Fixed-capacity move-only callable: scheduling is allocation-free for
+  /// any capture that fits the inline budget, and a larger capture is a
+  /// compile error (see util/inplace_function.h).
+  using Callback = InplaceFunction<void(), kSchedulerCallbackCapacity>;
 
   /// Counters for diagnostics and microbenches. `executed`/`cancelled`/
   /// `stale_skipped` are lifetime totals; the rest describe current state.
@@ -44,6 +57,8 @@ class Scheduler {
     std::size_t pending = 0;          // live events awaiting execution
     std::size_t heap_size = 0;        // heap entries incl. stale ones
     std::size_t slots = 0;            // pooled callback slots allocated
+    std::size_t heap_capacity = 0;    // heap vector capacity (growth probe)
+    std::size_t slot_capacity = 0;    // slot pool capacity (growth probe)
   };
 
   /// Current simulation time. Starts at 0.
@@ -125,6 +140,8 @@ class Scheduler {
     s.pending = pending_;
     s.heap_size = heap_.size();
     s.slots = slots_.size();
+    s.heap_capacity = heap_.capacity();
+    s.slot_capacity = slots_.capacity();
     return s;
   }
 

@@ -178,7 +178,7 @@ TEST(SweepRunnerTest, EightThreadsReproduceSerialCsvBytes) {
 std::string fault_sweep_csv(unsigned threads) {
   SweepRunner runner(threads);
   std::vector<std::function<SweepOutput()>> tasks;
-  for (int kind = 0; kind < 3; ++kind) {
+  for (int kind = 0; kind < 4; ++kind) {
     tasks.push_back([kind] {
       ScenarioConfig cfg;
       cfg.pels_flows = 2;
@@ -187,6 +187,18 @@ std::string fault_sweep_csv(unsigned threads) {
       FaultPlan plan;
       if (kind == 1) plan.link_flaps.push_back({3 * kSecond, 4 * kSecond});
       if (kind == 2) plan.ack_blackouts.push_back({3 * kSecond, 5 * kSecond});
+      if (kind == 3) {
+        // Flap + Gilbert-Elliott burst corruption together: carrier-lost
+        // entries and lazily-evaluated corruption share the coalesced
+        // delivery ring, the hardest case for the single-event link
+        // pipeline to replay identically across thread counts.
+        plan.link_flaps.push_back({3 * kSecond, 3 * kSecond + 500 * kMillisecond});
+        GilbertElliottConfig ge;
+        ge.p_good_to_bad = 0.01;
+        ge.p_bad_to_good = 0.25;
+        ge.loss_bad = 0.8;
+        plan.burst_corruption = ge;
+      }
       cfg.faults = plan;
       DumbbellScenario s(cfg);
       s.run_until(8 * kSecond);

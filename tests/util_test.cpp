@@ -1,10 +1,14 @@
 // Tests for src/util: time conversion, RNG determinism and distribution
-// sanity, statistics accumulators, table rendering.
+// sanity, statistics accumulators, table rendering, fixed-capacity callables.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "util/inplace_function.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -292,6 +296,55 @@ TEST(HistogramTest, BinsAndOverflow) {
   EXPECT_EQ(h.bin_count(4), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+// ------------------------------------------------------- InplaceFunction
+
+TEST(InplaceFunctionTest, EmptyAndNullptrAreFalsy) {
+  InplaceFunction<int(), 32> fn;
+  EXPECT_FALSE(fn);
+  fn = [] { return 42; };
+  EXPECT_TRUE(fn);
+  EXPECT_EQ(fn(), 42);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InplaceFunctionTest, CarriesMoveOnlyCaptures) {
+  auto box = std::make_unique<int>(7);
+  InplaceFunction<int(), 32> fn = [b = std::move(box)] { return *b; };
+  EXPECT_EQ(fn(), 7);
+  EXPECT_EQ(fn(), 7);  // capture survives repeated invocation
+}
+
+TEST(InplaceFunctionTest, MoveTransfersAndEmptiesSource) {
+  InplaceFunction<int(int), 32> a = [](int x) { return x + 1; };
+  InplaceFunction<int(int), 32> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): emptiness is specified
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b(4), 5);
+}
+
+TEST(InplaceFunctionTest, RelocatesInsideGrowingVector) {
+  // The scheduler's slot pool relocates callbacks on vector growth; the
+  // capture (including destructors) must survive the moves.
+  auto live = std::make_shared<int>(0);
+  std::vector<InplaceFunction<int(), 48>> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.emplace_back([live, i] {
+      ++*live;
+      return i;
+    });
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(pool[static_cast<std::size_t>(i)](), i);
+  EXPECT_EQ(*live, 64);
+  pool.clear();
+  EXPECT_EQ(live.use_count(), 1);  // every relocated capture was destroyed
+}
+
+TEST(InplaceFunctionTest, CapacityIsCompileTimeConstant) {
+  static_assert(InplaceFunction<void(), 64>::capacity() == 64);
+  SUCCEED();
 }
 
 // ----------------------------------------------------------- TablePrinter

@@ -8,6 +8,15 @@
 // the initial ramp), then rises and stabilizes at gamma* = p_fgs/p_thr with
 // small oscillations; red loss stabilizes near p_thr = 75% for BOTH loss
 // levels, and yellow loss stays ~0 (all congestion absorbed by red).
+//
+// Both panels are read from the scenario's telemetry sampler (see DESIGN.md
+// "Telemetry"): gamma from the flow0.gamma probe, loss rates from windowed
+// deltas of the bottleneck's cumulative per-colour counters. The gamma column
+// is cross-checked against the source's own control-tick series at every
+// printed instant — the sampler's determinism contract says they must agree
+// exactly — and the bench fails if they diverge.
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "analysis/stability.h"
@@ -20,25 +29,51 @@ using namespace pels;
 namespace {
 
 struct RunResult {
-  TimeSeries gamma;
+  TimeSeries gamma;      // telemetry flow0.gamma
+  TimeSeries gamma_src;  // source control-tick series (parity reference)
   TimeSeries red_loss;
   TimeSeries yellow_loss;
   double p_fgs_theory;
   double gamma_star;
 };
 
+/// Per-window loss rate (drops/arrivals within each `window`) reconstructed
+/// from the sampler's cumulative arrival/drop probes — the telemetry-backed
+/// equivalent of the scenario's ad-hoc 1 s loss sampler.
+TimeSeries windowed_loss(const TimeSeriesSampler& tel, const std::string& arrivals,
+                         const std::string& drops, SimTime window) {
+  const TimeSeries arr = tel.series(arrivals);
+  const TimeSeries drp = tel.series(drops);
+  TimeSeries out;
+  const std::size_t stride =
+      static_cast<std::size_t>(window / tel.period());
+  for (std::size_t i = stride; i < arr.size(); i += stride) {
+    const double da = arr[i].value - arr[i - stride].value;
+    const double dd = drp[i].value - drp[i - stride].value;
+    out.add(arr[i].t, da <= 0.0 ? 0.0 : dd / da);
+  }
+  return out;
+}
+
 RunResult run_flows(int flows, SimTime duration) {
   ScenarioConfig cfg;
   cfg.pels_flows = flows;
   cfg.tcp_flows = 3;  // keep the Internet queue backlogged: WRR lends no slack
   cfg.seed = 7;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.period = from_millis(100);
+  cfg.telemetry.max_samples =
+      static_cast<std::size_t>(duration / cfg.telemetry.period) + 16;
   DumbbellScenario s(cfg);
   s.run_until(duration);
 
+  const TimeSeriesSampler& tel = *s.telemetry_sampler();
   RunResult out;
-  out.gamma = s.source(0).gamma_series();
-  out.red_loss = s.loss_series(Color::kRed);
-  out.yellow_loss = s.loss_series(Color::kYellow);
+  out.gamma = tel.series("flow0.gamma");
+  out.gamma_src = s.source(0).gamma_series();
+  out.red_loss = windowed_loss(tel, "bottleneck.red_arrivals", "bottleneck.red_drops", kSecond);
+  out.yellow_loss =
+      windowed_loss(tel, "bottleneck.yellow_arrivals", "bottleneck.yellow_drops", kSecond);
   // FGS-layer loss excludes the protected green share from the denominator.
   const double c = s.video_capacity_bps();
   const double overshoot = flows * cfg.mkc.alpha_bps / cfg.mkc.beta;
@@ -46,6 +81,24 @@ RunResult run_flows(int flows, SimTime duration) {
   out.p_fgs_theory = overshoot / (c + overshoot - green);
   out.gamma_star = out.p_fgs_theory / cfg.source.gamma.p_thr;
   return out;
+}
+
+/// Telemetry determinism check: at every printed instant the sampler's gamma
+/// column must equal the source's own control-tick record bit-for-bit (the
+/// snapshot at a shared timestamp observes post-update state). Returns the
+/// number of mismatches.
+int check_gamma_parity(const RunResult& r, SimTime duration, const char* label) {
+  int mismatches = 0;
+  for (SimTime t = 2 * kSecond; t <= duration; t += 5 * kSecond) {
+    const double tel = r.gamma.value_at(t);
+    const double src = r.gamma_src.value_at(t);
+    if (tel != src) {
+      std::cerr << "PARITY FAIL (" << label << "): t = " << to_seconds(t)
+                << " s: telemetry gamma " << tel << " != source gamma " << src << "\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace
@@ -97,5 +150,13 @@ int main() {
   summary.print(std::cout);
   std::cout << "\nPaper: red loss stabilizes at p_thr = 75% for both 7% and 14% loss;\n"
             << "yellow packets see (ideal) zero-loss conditions.\n";
+
+  const int bad = check_gamma_parity(low, duration, "4 flows") +
+                  check_gamma_parity(high, duration, "8 flows");
+  if (bad > 0) {
+    std::cerr << "\ntelemetry/source gamma parity FAILED at " << bad << " instants\n";
+    return 1;
+  }
+  std::cout << "\ntelemetry parity: sampler gamma == source gamma at every printed instant\n";
   return 0;
 }

@@ -58,26 +58,40 @@ int main() {
     cfg.start_times = {0, 10 * kSecond};
     cfg.tcp_flows = 1;
     cfg.seed = 7;
-    DumbbellScenario s(cfg);
     const SimTime duration = 40 * kSecond;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.period = from_millis(100);
+    cfg.telemetry.max_samples =
+        static_cast<std::size_t>(duration / cfg.telemetry.period) + 16;
+    DumbbellScenario s(cfg);
     s.run_until(duration);
+
+    // Rates come from the telemetry sampler's flowN.rate_bps probes (see
+    // DESIGN.md "Telemetry") instead of the sources' ad-hoc series. The
+    // probe reads the controller directly, so before F2 joins at t = 10 s it
+    // reports the idle controller's initial rate; mask that with "-" since
+    // nothing is actually sending yet.
+    const TimeSeriesSampler& tel = *s.telemetry_sampler();
+    const TimeSeries f1_rate = tel.series("flow0.rate_bps");
+    const TimeSeries f2_rate = tel.series("flow1.rate_bps");
 
     print_banner(std::cout,
                  "Figure 9 (right): MKC convergence/fairness (F2 joins at t = 10 s)");
     TablePrinter table({"t (s)", "F1 rate (kb/s)", "F2 rate (kb/s)"});
-    for (SimTime t = kSecond / 2; t <= duration; t += (t < 16 * kSecond ? kSecond / 2 : 2 * kSecond)) {
+    for (SimTime t = kSecond / 2; t <= duration;
+         t += (t < 16 * kSecond ? kSecond / 2 : 2 * kSecond)) {
       table.add_row({TablePrinter::fmt(to_seconds(t), 1),
-                     TablePrinter::fmt(s.source(0).rate_series().value_at(t) / 1e3, 0),
-                     TablePrinter::fmt(s.source(1).rate_series().value_at(t) / 1e3, 0)});
+                     TablePrinter::fmt(f1_rate.value_at(t) / 1e3, 0),
+                     t < 10 * kSecond ? std::string("-")
+                                      : TablePrinter::fmt(f2_rate.value_at(t) / 1e3, 0)});
     }
     table.print(std::cout);
 
     const double r_star = MkcController::stationary_rate(s.video_capacity_bps(), 2, cfg.mkc);
-    const double f1 = s.source(0).rate_series().mean_in(30 * kSecond, duration);
-    const double f2 = s.source(1).rate_series().mean_in(30 * kSecond, duration);
+    const double f1 = f1_rate.mean_in(30 * kSecond, duration);
+    const double f2 = f2_rate.mean_in(30 * kSecond, duration);
     const double shares[] = {f1, f2};
-    const SimTime settle =
-        settling_time(s.source(1).rate_series(), r_star, 0.1 * r_star);
+    const SimTime settle = settling_time(f2_rate, r_star, 0.1 * r_star);
     std::cout << "\nstationary rate C/N + alpha/beta = "
               << TablePrinter::fmt(r_star / 1e3, 0) << " kb/s; measured F1 "
               << TablePrinter::fmt(f1 / 1e3, 0) << ", F2 " << TablePrinter::fmt(f2 / 1e3, 0)

@@ -1,15 +1,20 @@
 // End-to-end pipeline microbench: simulated packets/sec through the full
 // source -> queue -> link -> router -> sink path, plus SweepRunner scaling.
 //
-// Two measurements, written to BENCH_pipeline.json (and EXPERIMENTS.md):
+// Three measurements, written to BENCH_pipeline.json (schema v1, gated in CI
+// by tools/bench_compare.py) and EXPERIMENTS.md:
 //   1. pipeline: wall-clock for a 4-flow dumbbell run; reports data
 //      packets/sec delivered end to end and scheduler events/sec. This is
 //      the number the Packet memory diet (boxed AckInfo, move-only hot
-//      path) moves.
+//      path) moves. Runs are interleaved with telemetry-enabled twins to
+//      measure the sampler overhead (budget ≤ 2%, DESIGN.md "Telemetry")
+//      and assert telemetry observes without perturbing delivery.
 //   2. sweep scaling: an 8-point ablation-style sweep executed by
 //      SweepRunner at 1/2/4/8 threads; reports wall-clock per thread count
 //      and asserts the merged CSV is byte-identical to the serial run (the
 //      determinism contract, see DESIGN.md "Parallel experiments").
+//   3. alloc probe: steady-state heap traffic on a 3-hop DropTail chain
+//      (expected: zero).
 //
 // Usage: micro_pipeline [--smoke] [--json PATH] [--label NAME]
 //   --smoke shortens simulated durations so CI sanitizer jobs can afford it.
@@ -66,8 +71,12 @@ void counted_free(void* p) noexcept {
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
-void* operator new(std::size_t size, std::align_val_t align) { return counted_alloc(size, align); }
-void* operator new[](std::size_t size, std::align_val_t align) { return counted_alloc(size, align); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
 void operator delete(void* p) noexcept { counted_free(p); }
 void operator delete[](void* p) noexcept { counted_free(p); }
 void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
@@ -94,11 +103,20 @@ struct PipelineResult {
 };
 
 /// One full dumbbell run; returns wall time and end-to-end delivery counts.
-PipelineResult run_pipeline(SimTime duration) {
+/// With `telemetry` the full instrument set is registered and sampled every
+/// 100 ms — the A/B comparison against plain runs measures the telemetry
+/// overhead the ≤ 2% budget (DESIGN.md "Telemetry") is about.
+PipelineResult run_pipeline(SimTime duration, bool telemetry) {
   ScenarioConfig cfg;
   cfg.pels_flows = 4;
   cfg.tcp_flows = 2;
   cfg.seed = 3;
+  if (telemetry) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.period = from_millis(100);
+    cfg.telemetry.max_samples =
+        static_cast<std::size_t>(duration / cfg.telemetry.period) + 16;
+  }
   const auto t0 = Clock::now();
   DumbbellScenario s(cfg);
   s.run_until(duration);
@@ -238,22 +256,45 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 1 : 5;
 
   print_banner(std::cout, "micro_pipeline: end-to-end packets/sec (4-flow dumbbell)");
+  // Interleaved A/B: alternate plain and telemetry-enabled runs so clock
+  // drift and cache state hit both modes equally; compare the medians.
   std::vector<PipelineResult> runs;
-  for (int r = 0; r < reps; ++r) runs.push_back(run_pipeline(pipeline_duration));
-  std::sort(runs.begin(), runs.end(),
-            [](const PipelineResult& a, const PipelineResult& b) { return a.wall_ms < b.wall_ms; });
+  std::vector<PipelineResult> tel_runs;
+  for (int r = 0; r < reps; ++r) {
+    runs.push_back(run_pipeline(pipeline_duration, /*telemetry=*/false));
+    tel_runs.push_back(run_pipeline(pipeline_duration, /*telemetry=*/true));
+  }
+  const auto by_wall = [](const PipelineResult& a, const PipelineResult& b) {
+    return a.wall_ms < b.wall_ms;
+  };
+  std::sort(runs.begin(), runs.end(), by_wall);
+  std::sort(tel_runs.begin(), tel_runs.end(), by_wall);
   const PipelineResult& med = runs[runs.size() / 2];
+  const PipelineResult& tel_med = tel_runs[tel_runs.size() / 2];
   const double pkts_per_sec = 1e3 * static_cast<double>(med.data_packets) / med.wall_ms;
   const double events_per_sec = 1e3 * static_cast<double>(med.events) / med.wall_ms;
   const double events_per_data_packet =
       static_cast<double>(med.events) / static_cast<double>(med.data_packets);
+  const double tel_pkts_per_sec =
+      1e3 * static_cast<double>(tel_med.data_packets) / tel_med.wall_ms;
+  const double tel_overhead_frac = 1.0 - tel_pkts_per_sec / pkts_per_sec;
   std::cout << "sizeof(Packet) = " << sizeof(Packet) << " bytes\n"
             << "median wall    = " << TablePrinter::fmt(med.wall_ms, 1) << " ms for "
             << med.data_packets << " delivered data packets\n"
             << "throughput     = " << TablePrinter::fmt(pkts_per_sec / 1e3, 1)
             << " k data pkts/s, " << TablePrinter::fmt(events_per_sec / 1e6, 2)
             << " M events/s (" << TablePrinter::fmt(events_per_data_packet, 2)
-            << " events per delivered data packet, timers and acks included)\n";
+            << " events per delivered data packet, timers and acks included)\n"
+            << "with telemetry = " << TablePrinter::fmt(tel_pkts_per_sec / 1e3, 1)
+            << " k data pkts/s (overhead "
+            << TablePrinter::fmt(100.0 * tel_overhead_frac, 2) << "%, budget 2%)\n";
+  // Telemetry must observe, not perturb: the same scenario with sampling on
+  // delivers exactly the same packets.
+  if (tel_med.data_packets != med.data_packets) {
+    std::cerr << "FATAL: telemetry perturbed the simulation (" << tel_med.data_packets
+              << " data packets vs " << med.data_packets << " plain)\n";
+    return 1;
+  }
 
   print_banner(std::cout, "steady-state allocation probe (3-hop DropTail chain)");
   const AllocProbeResult probe =
@@ -290,8 +331,13 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "(hardware threads available: " << std::thread::hardware_concurrency() << ")\n";
 
+  // Schema v1 (tools/bench_compare.py gates on it): top-level schema_version,
+  // pipeline.data_pkts_per_sec as the regression metric, telemetry A/B block,
+  // alloc_probe invariants, sweep_scaling identity flags. Additions are fine;
+  // renames/removals bump the version and bench_compare.py together.
   std::ofstream json(json_path, std::ios::trunc);
   json << "{\n"
+       << "  \"schema_version\": 1,\n"
        << "  \"bench\": \"micro_pipeline\",\n"
        << "  \"label\": \"" << label << "\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
@@ -305,6 +351,12 @@ int main(int argc, char** argv) {
        << "    \"data_pkts_per_sec\": " << pkts_per_sec << ",\n"
        << "    \"events_per_sec\": " << events_per_sec << ",\n"
        << "    \"events_per_data_packet\": " << events_per_data_packet << "\n"
+       << "  },\n"
+       << "  \"telemetry\": {\n"
+       << "    \"median_wall_ms\": " << tel_med.wall_ms << ",\n"
+       << "    \"data_packets\": " << tel_med.data_packets << ",\n"
+       << "    \"data_pkts_per_sec\": " << tel_pkts_per_sec << ",\n"
+       << "    \"overhead_frac\": " << tel_overhead_frac << "\n"
        << "  },\n"
        << "  \"alloc_probe\": {\n"
        << "    \"packets\": " << probe.packets << ",\n"

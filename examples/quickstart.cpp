@@ -5,7 +5,9 @@
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart [flows] [seconds]
 //                    [--seed N] [--tcp N] [--rd-scaling]
+//                    [--telemetry-csv FILE | --telemetry-json FILE]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "pels/metrics.h"
@@ -26,6 +28,16 @@ int main(int argc, char** argv) {
   cfg.tcp_flows = static_cast<int>(args.get_int("tcp", 1));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.rd_aware_scaling = args.get_bool("rd-scaling", false);
+
+  // Declarative telemetry (DESIGN.md "Telemetry"): asking for an export file
+  // flips the scenario switch; everything else is wired by the scenario.
+  const std::string tel_csv = args.get_string("telemetry-csv", "");
+  const std::string tel_json = args.get_string("telemetry-json", "");
+  if (!tel_csv.empty() || !tel_json.empty()) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.max_samples =
+        static_cast<std::size_t>(from_seconds(seconds) / cfg.telemetry.period) + 16;
+  }
 
   DumbbellScenario s(cfg);
   std::cout << "PELS quickstart: " << flows << " video flow(s) + 1 TCP flow, "
@@ -67,5 +79,23 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const auto export_telemetry = [&s](const std::string& path, bool json) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "failed to write " << path << "\n";
+      return false;
+    }
+    if (json) {
+      s.telemetry_sampler()->write_json(os);
+    } else {
+      s.telemetry_sampler()->write_csv(os);
+    }
+    std::cout << "telemetry (" << s.metrics()->size() << " instruments, "
+              << s.telemetry_sampler()->sample_count() << " samples) written to "
+              << path << "\n";
+    return true;
+  };
+  if (!tel_csv.empty() && !export_telemetry(tel_csv, /*json=*/false)) return 1;
+  if (!tel_json.empty() && !export_telemetry(tel_json, /*json=*/true)) return 1;
   return 0;
 }

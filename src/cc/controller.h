@@ -7,6 +7,9 @@
 // TFRC-lite use either; all can drive the same PELS source.
 #pragma once
 
+#include <string>
+
+#include "telemetry/metrics.h"
 #include "util/time.h"
 
 namespace pels {
@@ -52,6 +55,14 @@ class CongestionController {
 
   /// Controller name for traces and tables.
   virtual const char* name() const = 0;
+
+  /// Registers pull probes under `prefix.` (see DESIGN.md "Telemetry"). The
+  /// base registers the one signal every controller has — the sending rate;
+  /// overrides add their internal state on top by chaining to this. Probes
+  /// read live state at sample time, so the control path stays untouched.
+  virtual void register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+    registry.add_probe(prefix + ".rate_bps", [this] { return rate_bps(); });
+  }
 };
 
 }  // namespace pels

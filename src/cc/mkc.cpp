@@ -31,6 +31,14 @@ void MkcController::on_router_feedback(double p, SimTime /*now*/) {
   ++updates_;
 }
 
+void MkcController::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  CongestionController::register_metrics(registry, prefix);
+  registry.add_probe(prefix + ".mkc_updates", [this] { return static_cast<double>(updates_); });
+  registry.add_probe(prefix + ".silence_ticks",
+                     [this] { return static_cast<double>(silence_ticks_); });
+  registry.add_probe(prefix + ".in_silence", [this] { return silent_ ? 1.0 : 0.0; });
+}
+
 void MkcController::on_feedback_silence(SimTime /*now*/) {
   silent_ = true;
   ++silence_ticks_;

@@ -52,6 +52,7 @@ class MkcController : public CongestionController {
   void on_router_feedback(double p, SimTime now) override;
   void on_feedback_silence(SimTime now) override;
   const char* name() const override { return "MKC"; }
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix) override;
 
   /// Number of feedback updates applied (one per fresh epoch).
   std::uint64_t updates() const { return updates_; }

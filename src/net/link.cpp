@@ -171,4 +171,19 @@ double Link::utilization() const {
   return static_cast<double>(busy_time_ + live) / static_cast<double>(elapsed);
 }
 
+void Link::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  registry.add_probe(prefix + ".utilization", [this] { return utilization(); });
+  registry.add_probe(prefix + ".in_flight_pkts",
+                     [this] { return static_cast<double>(packets_in_flight()); });
+  registry.add_probe(prefix + ".queue_pkts",
+                     [this] { return static_cast<double>(queue_->packet_count()); });
+  registry.add_probe(prefix + ".queue_bytes",
+                     [this] { return static_cast<double>(queue_->byte_count()); });
+  registry.add_probe(prefix + ".delivered_pkts",
+                     [this] { return static_cast<double>(delivered_); });
+  registry.add_probe(prefix + ".corrupted_pkts",
+                     [this] { return static_cast<double>(corrupted_); });
+  registry.add_probe(prefix + ".up", [this] { return up_ ? 1.0 : 0.0; });
+}
+
 }  // namespace pels

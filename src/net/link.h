@@ -27,6 +27,7 @@
 #include "net/packet.h"
 #include "net/queue_disc.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
 #include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -107,6 +108,11 @@ class Link {
   /// Pre-sizes the in-flight ring (e.g. from a topology-level estimate of
   /// bandwidth-delay product) so steady state never grows it mid-run.
   void reserve_in_flight(std::size_t packets) { ring_.reserve(packets); }
+
+  /// Registers pull probes under `prefix.` (utilization, on-wire ring depth,
+  /// queue backlog, cumulative delivery/corruption counters, up/down state).
+  /// Probes only — the packet pipeline itself is untouched by telemetry.
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix);
 
  private:
   /// One packet on the wire: serializing until `tx_end`, arriving at

@@ -30,7 +30,8 @@ enum class TraceEvent : std::uint8_t {
   kDeliver = 3,
 };
 
-/// Single-character event code used in text traces ('+', '-', 'd', 'r').
+/// Single-character event code used in text traces, one per TraceEvent:
+/// kEnqueue = '+', kDequeue = '-', kDrop = 'd', kDeliver = 'r'.
 char trace_event_code(TraceEvent e);
 
 struct TraceRecord {

@@ -101,6 +101,40 @@ void PelsSink::on_packet(const Packet& pkt) {
 void PelsSink::finalize_frame(std::int64_t unwrapped_id, FrameReception rx) {
   last_finalized_ = std::max(last_finalized_, unwrapped_id);
   qualities_.push_back(decoder_.decode(rx));
+  const FrameQuality& q = qualities_.back();
+  useful_fgs_bytes_total_ += static_cast<std::uint64_t>(q.useful_fgs_bytes);
+  if (q.base_ok) ++base_ok_frames_;
+  psnr_sum_db_ += q.psnr_db;
+}
+
+void PelsSink::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  struct BandProbe {
+    Color color;
+    const char* pkts;
+  };
+  static constexpr BandProbe kBands[] = {
+      {Color::kGreen, ".green_pkts"},
+      {Color::kYellow, ".yellow_pkts"},
+      {Color::kRed, ".red_pkts"},
+  };
+  for (const BandProbe& b : kBands) {
+    registry.add_probe(prefix + b.pkts, [this, c = b.color] {
+      return static_cast<double>(packets_received(c));
+    });
+  }
+  registry.add_probe(prefix + ".fgs_bytes",
+                     [this] { return static_cast<double>(recv_fgs_bytes_); });
+  registry.add_probe(prefix + ".useful_fgs_bytes",
+                     [this] { return static_cast<double>(useful_fgs_bytes_total_); });
+  registry.add_probe(prefix + ".frames_finalized",
+                     [this] { return static_cast<double>(qualities_.size()); });
+  registry.add_probe(prefix + ".base_ok_frames",
+                     [this] { return static_cast<double>(base_ok_frames_); });
+  registry.add_probe(prefix + ".mean_psnr_db", [this] {
+    return qualities_.empty() ? 0.0 : psnr_sum_db_ / static_cast<double>(qualities_.size());
+  });
+  registry.add_probe(prefix + ".duplicates",
+                     [this] { return static_cast<double>(duplicates_ignored_); });
 }
 
 void PelsSink::finalize_all() {

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "net/host.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
 #include "util/stats.h"
 #include "video/decoder.h"
 #include "video/fgs.h"
@@ -67,6 +69,12 @@ class PelsSink : public Agent {
   /// one entry per finalized frame, in decode order.
   std::vector<FrameArrival> frame_arrivals() const;
 
+  /// Registers receiver-side pull probes under `prefix.` (see DESIGN.md
+  /// "Telemetry"): per-colour delivery counters, FGS bytes, duplicates, and
+  /// the decoded-quality aggregates (frames finalized, useful-prefix bytes,
+  /// mean PSNR). Probes only — the receive path is untouched.
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void send_ack(const Packet& data);
   void finalize_frame(std::int64_t frame_id, FrameReception rx);
@@ -98,6 +106,12 @@ class PelsSink : public Agent {
   std::int64_t last_finalized_ = -1;
   std::uint64_t duplicates_ignored_ = 0;
   std::vector<FrameQuality> qualities_;
+
+  // Decode-quality aggregates, accumulated per finalized frame (not per
+  // packet) so telemetry probes read them in O(1).
+  std::uint64_t useful_fgs_bytes_total_ = 0;
+  std::uint64_t base_ok_frames_ = 0;
+  double psnr_sum_db_ = 0.0;
 };
 
 }  // namespace pels

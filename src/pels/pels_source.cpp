@@ -263,4 +263,19 @@ void PelsSource::on_control_clock() {
   loss_series_.add(sim_.now(), last_measured_loss_);
 }
 
+void PelsSource::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  controller_->register_metrics(registry, prefix);
+  if (cfg_.partition) gamma_.register_metrics(registry, prefix);
+  registry.add_probe(prefix + ".measured_loss", [this] { return last_measured_loss_; });
+  registry.add_probe(prefix + ".router_fgs_loss", [this] { return latest_router_fgs_loss_; });
+  registry.add_probe(prefix + ".feedback_silent", [this] { return silent_ ? 1.0 : 0.0; });
+  registry.add_probe(prefix + ".silent_intervals",
+                     [this] { return static_cast<double>(silent_intervals_); });
+  registry.add_probe(prefix + ".fgs_bytes_sent",
+                     [this] { return static_cast<double>(sent_fgs_bytes_); });
+  registry.add_probe(prefix + ".frames_sent",
+                     [this] { return static_cast<double>(next_frame_); });
+  registry.add_probe(prefix + ".srtt_seconds", [this] { return to_seconds(srtt_); });
+}
+
 }  // namespace pels

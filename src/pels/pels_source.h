@@ -120,6 +120,13 @@ class PelsSource : public Agent {
 
   const PelsSourceConfig& config() const { return cfg_; }
 
+  /// Registers this flow's sender-side instruments under `prefix.` (see
+  /// DESIGN.md "Telemetry"): the congestion controller's probes (rate,
+  /// silence-watchdog state), the gamma controller's probes, and the source's
+  /// own loss/feedback/transmission state. Probes only — the packet and
+  /// control paths are untouched.
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void on_frame_clock();
   void on_control_clock();

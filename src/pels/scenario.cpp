@@ -41,6 +41,7 @@ void ScenarioConfig::validate() const {
   require(source.control_interval > 0, "source.control_interval must be > 0");
   require(source.feedback_timeout >= 0, "source.feedback_timeout must be >= 0");
   require(sample_interval > 0, "sample_interval must be > 0");
+  telemetry.validate();
   if (bottleneck == BottleneckKind::kPels) {
     // link_bandwidth_bps is overwritten with bottleneck_bps at construction;
     // validate the rest of the AQM config as it will actually run.
@@ -190,6 +191,28 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
   sampler_ = std::make_unique<PeriodicTimer>(sim_.scheduler(), cfg_.sample_interval,
                                              [this] { sample_losses(); });
   sampler_->start();
+
+  if (cfg_.telemetry.enabled) setup_telemetry();
+}
+
+void DumbbellScenario::setup_telemetry() {
+  metrics_ = std::make_unique<MetricsRegistry>();
+  if (pels_queue_ != nullptr) pels_queue_->register_metrics(*metrics_, "bottleneck");
+  bottleneck_link_->register_metrics(*metrics_, "bottleneck.link");
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->register_metrics(*metrics_, "flow" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    sinks_[i]->register_metrics(*metrics_, "sink" + std::to_string(i));
+  }
+  // Created (and started) after every agent above: sampler ticks that share a
+  // timestamp with control ticks then execute after them (scheduler insertion
+  // order), so each snapshot observes post-update state — the determinism
+  // contract in DESIGN.md "Telemetry".
+  telemetry_ = std::make_unique<TimeSeriesSampler>(sim_.scheduler(), *metrics_,
+                                                   cfg_.telemetry.period);
+  telemetry_->reserve_runtime(cfg_.telemetry.max_samples);
+  telemetry_->start();
 }
 
 QueueDisc& DumbbellScenario::bottleneck_queue() { return *bottleneck_; }

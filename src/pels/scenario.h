@@ -25,6 +25,7 @@
 #include "pels/pels_sink.h"
 #include "pels/pels_source.h"
 #include "sim/timer.h"
+#include "telemetry/sampler.h"
 #include "video/rd_model.h"
 
 namespace pels {
@@ -81,6 +82,13 @@ struct ScenarioConfig {
   SimTime sample_interval = kSecond;  // per-colour loss sampling
   std::uint64_t seed = 1;
 
+  /// Declarative telemetry switch (see DESIGN.md "Telemetry"): when enabled,
+  /// the scenario builds a MetricsRegistry, registers every instrumented
+  /// layer (bottleneck AQM, bottleneck link, each source and sink), and runs
+  /// a TimeSeriesSampler at `telemetry.period`. Off by default — the packet
+  /// path then carries no telemetry work at all.
+  TelemetryConfig telemetry;
+
   /// Rejects nonsensical parameters (probabilities outside [0,1), gains
   /// outside their stability regions, non-positive bandwidths/intervals,
   /// restarts without a PELS bottleneck) with std::invalid_argument. Called
@@ -133,8 +141,17 @@ class DumbbellScenario {
   const RdModel& rd_model() const { return rd_; }
   const ScenarioConfig& config() const { return cfg_; }
 
+  /// Telemetry views; null unless config().telemetry.enabled. The registry
+  /// holds every instrument registered at construction (prefixes:
+  /// "bottleneck", "bottleneck.link", "flowN", "sinkN"); the sampler snapshots
+  /// them every telemetry.period of simulated time.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  TimeSeriesSampler* telemetry_sampler() { return telemetry_.get(); }
+  const TimeSeriesSampler* telemetry_sampler() const { return telemetry_.get(); }
+
  private:
   void sample_losses();
+  void setup_telemetry();
 
   ScenarioConfig cfg_;
   Simulation sim_;
@@ -154,6 +171,8 @@ class DumbbellScenario {
   std::vector<std::unique_ptr<TcpSink>> tcp_sinks_;
 
   std::unique_ptr<PeriodicTimer> sampler_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TimeSeriesSampler> telemetry_;
   ColorCounters last_counters_;
   TimeSeries loss_series_[kNumColors];
   TimeSeries fgs_loss_series_;

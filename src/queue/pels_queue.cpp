@@ -120,8 +120,54 @@ std::size_t PelsQueue::band_packet_count(std::size_t band) const {
   return priority_->band_packet_count(band);
 }
 
+void PelsQueue::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  // Pull probes: state the queue already keeps, read only at sample time.
+  static constexpr struct {
+    Color color;
+    const char* occupancy;
+    const char* arrivals;
+    const char* drops;
+  } kBands[] = {
+      {Color::kGreen, ".green_pkts", ".green_arrivals", ".green_drops"},
+      {Color::kYellow, ".yellow_pkts", ".yellow_arrivals", ".yellow_drops"},
+      {Color::kRed, ".red_pkts", ".red_arrivals", ".red_drops"},
+  };
+  for (const auto& band : kBands) {
+    const auto b = static_cast<std::size_t>(band.color);
+    registry.add_probe(prefix + band.occupancy,
+                       [this, b] { return static_cast<double>(band_packet_count(b)); });
+    registry.add_probe(prefix + band.arrivals, [this, b] {
+      return static_cast<double>(counters().arrivals[b]);
+    });
+    registry.add_probe(prefix + band.drops, [this, b] {
+      return static_cast<double>(counters().drops[b]);
+    });
+  }
+  registry.add_probe(prefix + ".internet_pkts",
+                     [this] { return static_cast<double>(internet_->packet_count()); });
+  registry.add_probe(prefix + ".internet_drops", [this] {
+    return static_cast<double>(
+        counters().drops[static_cast<std::size_t>(Color::kInternet)]);
+  });
+  registry.add_probe(prefix + ".pels_arrivals", [this] {
+    const auto& c = counters();
+    return static_cast<double>(c.arrivals[static_cast<std::size_t>(Color::kGreen)] +
+                               c.arrivals[static_cast<std::size_t>(Color::kYellow)] +
+                               c.arrivals[static_cast<std::size_t>(Color::kRed)]);
+  });
+  registry.add_probe(prefix + ".wrr_pels_credit",
+                     [this] { return static_cast<double>(wrr_->deficit(0)); });
+  registry.add_probe(prefix + ".wrr_internet_credit",
+                     [this] { return static_cast<double>(wrr_->deficit(1)); });
+  // Push slots: the feedback loop refreshes these once per interval T.
+  g_loss_ = &registry.gauge(prefix + ".p");
+  g_fgs_loss_ = &registry.gauge(prefix + ".p_fgs");
+  c_epochs_ = &registry.counter(prefix + ".feedback_epochs");
+}
+
 void PelsQueue::on_feedback_interval() {
   meter_.close_interval();
+  update_feedback_telemetry();
   // Every few intervals, refresh the gamma-facing FGS loss from exact drop
   // counts: p_fgs = FGS drops / FGS arrivals over the window. By default the
   // injection drives the stamped labels for one epoch and the responsive
@@ -144,6 +190,16 @@ void PelsQueue::on_feedback_interval() {
   const double p_fgs =
       d_arr > 0 ? static_cast<double>(d_drop) / static_cast<double>(d_arr) : 0.0;
   meter_.set_fgs_loss(p_fgs, cfg_.sticky_fgs_loss);
+  // The drop-count injection just replaced the label-facing FGS loss; keep
+  // the telemetry gauge in sync with what departing packets will carry.
+  if (g_fgs_loss_ != nullptr) g_fgs_loss_->set(meter_.fgs_loss());
+}
+
+void PelsQueue::update_feedback_telemetry() {
+  if (c_epochs_ == nullptr) return;  // telemetry off
+  c_epochs_->inc();
+  g_loss_->set(meter_.loss());
+  g_fgs_loss_->set(meter_.fgs_loss());
 }
 
 }  // namespace pels

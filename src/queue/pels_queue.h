@@ -32,6 +32,7 @@
 #include "queue/wrr.h"
 #include "sim/scheduler.h"
 #include "sim/timer.h"
+#include "telemetry/metrics.h"
 #include "util/time.h"
 
 namespace pels {
@@ -131,8 +132,16 @@ class PelsQueue : public QueueDisc {
 
   const PelsQueueConfig& config() const { return cfg_; }
 
+  /// Registers this queue's instruments under `prefix.` (see DESIGN.md
+  /// "Telemetry"): pull probes for per-colour occupancy, cumulative
+  /// arrival/drop counters, and WRR credit; push gauges (p, p_fgs) plus an
+  /// epoch counter refreshed in on_feedback_interval. Call once at setup;
+  /// `registry` must outlive the queue.
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void on_feedback_interval();
+  void update_feedback_telemetry();
 
   PelsQueueConfig cfg_;
   double pels_capacity_bps_;
@@ -148,6 +157,11 @@ class PelsQueue : public QueueDisc {
   int intervals_since_fgs_update_ = 0;
   std::uint64_t fgs_arrivals_anchor_ = 0;
   std::uint64_t fgs_drops_anchor_ = 0;
+
+  // Telemetry slots (null = telemetry off); refreshed per feedback interval.
+  Gauge* g_loss_ = nullptr;
+  Gauge* g_fgs_loss_ = nullptr;
+  Counter* c_epochs_ = nullptr;
 };
 
 /// Convenience classifier used by PelsQueue: Internet traffic to child 1,

@@ -54,6 +54,9 @@ class WrrQueue : public QueueDisc {
   }
   const QueueDisc& child(std::size_t i) const { return *children_.at(i).queue; }
   double weight(std::size_t i) const { return children_.at(i).weight; }
+  /// Committed DRR byte credit of child `i` (telemetry/diagnostics). Reads
+  /// the committed deficit, not the memoized post-selection scratch state.
+  std::int64_t deficit(std::size_t i) const { return deficit_.at(i); }
 
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);

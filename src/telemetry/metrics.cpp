@@ -1,0 +1,64 @@
+#include "telemetry/metrics.h"
+
+#include <stdexcept>
+
+namespace pels {
+
+void MetricsRegistry::check_new_name(const std::string& name) const {
+  if (name.empty()) throw std::invalid_argument("MetricsRegistry: empty instrument name");
+  if (index_of(name) >= 0)
+    throw std::invalid_argument("MetricsRegistry: duplicate instrument name: " + name);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_new_name(name);
+  counters_.emplace_back();
+  Entry e;
+  e.name = name;
+  e.kind = Kind::kCounter;
+  e.counter = &counters_.back();
+  entries_.push_back(std::move(e));
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_new_name(name);
+  gauges_.emplace_back();
+  Entry e;
+  e.name = name;
+  e.kind = Kind::kGauge;
+  e.gauge = &gauges_.back();
+  entries_.push_back(std::move(e));
+  return gauges_.back();
+}
+
+void MetricsRegistry::add_probe(const std::string& name, ProbeFn read) {
+  check_new_name(name);
+  if (!read) throw std::invalid_argument("MetricsRegistry: null probe: " + name);
+  Entry e;
+  e.name = name;
+  e.kind = Kind::kProbe;
+  e.probe = std::move(read);
+  entries_.push_back(std::move(e));
+}
+
+double MetricsRegistry::read(std::size_t i) const {
+  const Entry& e = entries_.at(i);
+  switch (e.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(e.counter->value());
+    case Kind::kGauge:
+      return e.gauge->value();
+    case Kind::kProbe:
+      return e.probe();
+  }
+  return 0.0;
+}
+
+std::ptrdiff_t MetricsRegistry::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].name == name) return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+}  // namespace pels

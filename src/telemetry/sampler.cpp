@@ -1,0 +1,129 @@
+#include "telemetry/sampler.h"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace pels {
+
+namespace {
+
+// Fixed conversions keep exports byte-stable across runs with identical
+// event streams (the sweep determinism contract covers telemetry too).
+void format_value(char (&buf)[32], double v) { std::snprintf(buf, sizeof(buf), "%.10g", v); }
+void format_time(char (&buf)[32], SimTime t) {
+  std::snprintf(buf, sizeof(buf), "%.6f", to_seconds(t));
+}
+
+}  // namespace
+
+void TelemetryConfig::validate() const {
+  if (!enabled) return;
+  if (period <= 0) throw std::invalid_argument("TelemetryConfig: period must be > 0");
+  if (max_samples == 0) throw std::invalid_argument("TelemetryConfig: max_samples must be > 0");
+}
+
+TimeSeriesSampler::TimeSeriesSampler(Scheduler& sched, const MetricsRegistry& registry,
+                                     SimTime period)
+    : sched_(sched), registry_(registry), period_(period) {
+  if (period <= 0) throw std::invalid_argument("TimeSeriesSampler: period must be > 0");
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::reserve_runtime(std::size_t max_samples) {
+  if (max_samples == 0)
+    throw std::invalid_argument("TimeSeriesSampler: max_samples must be > 0");
+  probe_count_ = registry_.size();
+  capacity_ = max_samples;
+  times_.reserve(capacity_);
+  values_.reserve(capacity_ * probe_count_);
+  reserved_ = true;
+}
+
+void TimeSeriesSampler::start() {
+  if (pending_ != 0) return;
+  if (!reserved_) reserve_runtime(capacity_ ? capacity_ : 4096);
+  arm_next();
+}
+
+void TimeSeriesSampler::stop() {
+  if (pending_ == 0) return;
+  sched_.cancel(pending_);
+  pending_ = 0;
+}
+
+void TimeSeriesSampler::arm_next() {
+  pending_ = sched_.schedule_in(period_, [this] {
+    pending_ = 0;
+    sample_now();
+    arm_next();
+  });
+}
+
+void TimeSeriesSampler::sample_now() {
+  if (!reserved_) reserve_runtime(capacity_ ? capacity_ : 4096);
+  if (times_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  times_.push_back(sched_.now());
+  for (std::size_t i = 0; i < probe_count_; ++i) values_.push_back(registry_.read(i));
+}
+
+double TimeSeriesSampler::value_at(std::size_t probe, std::size_t sample) const {
+  if (probe >= probe_count_) throw std::out_of_range("TimeSeriesSampler: bad probe index");
+  return values_.at(sample * probe_count_ + probe);
+}
+
+TimeSeries TimeSeriesSampler::series(std::size_t probe) const {
+  TimeSeries out;
+  for (std::size_t s = 0; s < times_.size(); ++s) out.add(times_[s], value_at(probe, s));
+  return out;
+}
+
+TimeSeries TimeSeriesSampler::series(const std::string& name) const {
+  const std::ptrdiff_t i = registry_.index_of(name);
+  if (i < 0) throw std::invalid_argument("TimeSeriesSampler: unknown instrument: " + name);
+  return series(static_cast<std::size_t>(i));
+}
+
+void TimeSeriesSampler::write_csv(std::ostream& os) const {
+  os << "t_seconds";
+  for (std::size_t i = 0; i < probe_count_; ++i) os << ',' << registry_.name(i);
+  os << '\n';
+  char buf[32];
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    format_time(buf, times_[s]);
+    os << buf;
+    for (std::size_t i = 0; i < probe_count_; ++i) {
+      format_value(buf, value_at(i, s));
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+void TimeSeriesSampler::write_json(std::ostream& os) const {
+  char buf[32];
+  os << "{\n  \"period_seconds\": ";
+  format_value(buf, to_seconds(period_));
+  os << buf << ",\n  \"samples\": " << times_.size()
+     << ",\n  \"samples_dropped\": " << dropped_ << ",\n  \"t_seconds\": [";
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    format_time(buf, times_[s]);
+    os << (s ? "," : "") << buf;
+  }
+  os << "],\n  \"series\": {";
+  for (std::size_t i = 0; i < probe_count_; ++i) {
+    os << (i ? ",\n    \"" : "\n    \"") << registry_.name(i) << "\": [";
+    for (std::size_t s = 0; s < times_.size(); ++s) {
+      format_value(buf, value_at(i, s));
+      os << (s ? "," : "") << buf;
+    }
+    os << ']';
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace pels

@@ -22,6 +22,12 @@ double GammaController::update(double p) {
   return gamma_;
 }
 
+void GammaController::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  registry.add_probe(prefix + ".gamma", [this] { return gamma_; });
+  registry.add_probe(prefix + ".gamma_updates",
+                     [this] { return static_cast<double>(updates_); });
+}
+
 double GammaController::stationary_gamma(double p) const {
   return std::clamp(p / cfg_.p_thr, cfg_.gamma_low, cfg_.gamma_high);
 }

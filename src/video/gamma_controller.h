@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
 
 namespace pels {
 
@@ -41,6 +44,10 @@ class GammaController {
 
   /// Lemma 2/3 stability predicate for a candidate gain.
   static bool is_stable_gain(double sigma) { return sigma > 0.0 && sigma < 2.0; }
+
+  /// Registers pull probes under `prefix.`: the current partition gamma and
+  /// the cumulative update count (see DESIGN.md "Telemetry").
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix);
 
  private:
   GammaConfig cfg_;

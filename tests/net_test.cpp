@@ -412,7 +412,9 @@ TEST(TopologyTest, DumbbellAllPairsReachable) {
   topo.compute_routes();
 
   std::vector<CountingAgent> sinks(3);
-  for (int i = 0; i < 3; ++i) right[static_cast<std::size_t>(i)]->register_agent(i, &sinks[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 3; ++i) {
+    right[static_cast<std::size_t>(i)]->register_agent(i, &sinks[static_cast<std::size_t>(i)]);
+  }
   for (int i = 0; i < 3; ++i) {
     Packet p = make_packet(100);
     p.flow = i;

@@ -28,6 +28,32 @@ Packet make_packet(std::uint64_t uid, FlowId flow, Color color, std::int32_t siz
 
 // ----------------------------------------------------------- PacketTracer
 
+// Table test pinning the full TraceEvent -> code mapping (the contract the
+// trace.h comment documents). A new enumerator without a code would fall
+// through to '?' and fail here.
+TEST(PacketTracerTest, EventCodeCoversEveryTraceEvent) {
+  struct Case {
+    TraceEvent event;
+    char code;
+  };
+  constexpr Case kCases[] = {
+      {TraceEvent::kEnqueue, '+'},
+      {TraceEvent::kDequeue, '-'},
+      {TraceEvent::kDrop, 'd'},
+      {TraceEvent::kDeliver, 'r'},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(trace_event_code(c.event), c.code)
+        << "event " << static_cast<int>(c.event);
+  }
+  // All four codes are distinct — a text trace is unambiguous.
+  for (const Case& a : kCases) {
+    for (const Case& b : kCases) {
+      if (a.event != b.event) EXPECT_NE(a.code, b.code);
+    }
+  }
+}
+
 TEST(PacketTracerTest, RecordsEventsWithMetadata) {
   PacketTracer tracer;
   tracer.record(kSecond, TraceEvent::kEnqueue, "q0", make_packet(7, 3, Color::kYellow));

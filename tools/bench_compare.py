@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh micro_pipeline JSON against the
+committed baseline (BENCH_pipeline.json, schema v1).
+
+Checks, in order:
+  1. schema: both files carry schema_version 1 and the micro_pipeline layout;
+  2. throughput: current pipeline.data_pkts_per_sec must not fall more than
+     --tolerance (default 25%) below the baseline — CI machines are noisy, so
+     the band is wide; a real hot-path regression blows straight through it;
+  3. current-run invariants, independent of the baseline:
+       - alloc_probe.allocs_per_packet <= 0.01 (the steady state is
+         allocation-free by design),
+       - every sweep_scaling entry is identical_to_serial (determinism),
+       - telemetry.overhead_frac <= --telemetry-budget (default 5%; the
+         recorded target is 2%, the gate adds noise margin).
+
+Determinism notes (data_packets vs baseline) are warnings only: simulated
+delivery counts shift whenever scenario behaviour legitimately changes, and
+the per-run telemetry-vs-plain equality is already enforced by the bench
+binary itself.
+
+Exit status: 0 = pass, 1 = regression/invariant failure, 2 = bad input.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_pipeline.json --current build/BENCH_pipeline.json
+  tools/bench_compare.py --selftest        # prove the gate trips on a regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench_compare: FAIL: {msg}")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}")
+        sys.exit(2)
+
+
+def check_schema(doc: dict, label: str) -> list[str]:
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(f"{label}: schema_version must be 1, got {doc.get('schema_version')!r}")
+    if doc.get("bench") != "micro_pipeline":
+        errors.append(f"{label}: bench must be 'micro_pipeline', got {doc.get('bench')!r}")
+    for section, keys in {
+        "pipeline": ["median_wall_ms", "data_packets", "data_pkts_per_sec"],
+        "telemetry": ["data_pkts_per_sec", "overhead_frac"],
+        "alloc_probe": ["allocs_per_packet", "steady_allocs"],
+    }.items():
+        sub = doc.get(section)
+        if not isinstance(sub, dict):
+            errors.append(f"{label}: missing section '{section}'")
+            continue
+        for k in keys:
+            if k not in sub:
+                errors.append(f"{label}: missing {section}.{k}")
+    if not isinstance(doc.get("sweep_scaling"), list) or not doc["sweep_scaling"]:
+        errors.append(f"{label}: sweep_scaling must be a non-empty list")
+    return errors
+
+
+def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: float) -> int:
+    errors = check_schema(baseline, "baseline") + check_schema(current, "current")
+    if errors:
+        for e in errors:
+            fail(e)
+        return 2
+
+    failures = 0
+
+    base_pps = float(baseline["pipeline"]["data_pkts_per_sec"])
+    cur_pps = float(current["pipeline"]["data_pkts_per_sec"])
+    floor = (1.0 - tolerance) * base_pps
+    ratio = cur_pps / base_pps if base_pps > 0 else float("inf")
+    print(
+        f"throughput: baseline {base_pps:,.0f} pkts/s, current {cur_pps:,.0f} pkts/s "
+        f"({100.0 * (ratio - 1.0):+.1f}%, floor {floor:,.0f})"
+    )
+    if cur_pps < floor:
+        fail(
+            f"pipeline.data_pkts_per_sec regressed beyond {100 * tolerance:.0f}% "
+            f"tolerance ({cur_pps:,.0f} < {floor:,.0f})"
+        )
+        failures += 1
+
+    app = float(current["alloc_probe"]["allocs_per_packet"])
+    print(f"alloc probe: {app:.4f} allocs/packet (limit 0.01)")
+    if app > 0.01:
+        fail(f"alloc_probe.allocs_per_packet = {app} > 0.01: hot path allocates again")
+        failures += 1
+
+    non_identical = [
+        s for s in current["sweep_scaling"] if not s.get("identical_to_serial", False)
+    ]
+    print(
+        f"sweep determinism: {len(current['sweep_scaling'])} thread counts, "
+        f"{len(non_identical)} non-identical"
+    )
+    if non_identical:
+        threads = ", ".join(str(s.get("threads")) for s in non_identical)
+        fail(f"sweep output not byte-identical to serial at threads: {threads}")
+        failures += 1
+
+    overhead = float(current["telemetry"]["overhead_frac"])
+    print(
+        f"telemetry overhead: {100 * overhead:.2f}% "
+        f"(gate {100 * telemetry_budget:.0f}%, recorded target 2%)"
+    )
+    if overhead > telemetry_budget:
+        fail(
+            f"telemetry.overhead_frac = {overhead:.4f} > {telemetry_budget}: "
+            "sampling slows the pipeline too much"
+        )
+        failures += 1
+
+    base_pkts = baseline["pipeline"]["data_packets"]
+    cur_pkts = current["pipeline"]["data_packets"]
+    if base_pkts != cur_pkts and not current.get("smoke", False):
+        print(
+            f"bench_compare: note: simulated data_packets changed "
+            f"({base_pkts} -> {cur_pkts}); expected only when scenario "
+            "behaviour intentionally changed"
+        )
+
+    if failures == 0:
+        print("bench_compare: PASS")
+        return 0
+    print(f"bench_compare: {failures} check(s) failed")
+    return 1
+
+
+def selftest() -> int:
+    """Prove the gate detects an injected regression (and passes a clean run)."""
+    baseline = {
+        "schema_version": 1,
+        "bench": "micro_pipeline",
+        "smoke": False,
+        "pipeline": {
+            "median_wall_ms": 1000.0,
+            "data_packets": 500000,
+            "data_pkts_per_sec": 400000.0,
+        },
+        "telemetry": {"data_pkts_per_sec": 396000.0, "overhead_frac": 0.01},
+        "alloc_probe": {"allocs_per_packet": 0.0, "steady_allocs": 0},
+        "sweep_scaling": [
+            {"threads": 1, "identical_to_serial": True},
+            {"threads": 8, "identical_to_serial": True},
+        ],
+    }
+    clean = copy.deepcopy(baseline)
+    print("--- selftest: clean run must pass")
+    if compare(baseline, clean, 0.25, 0.05) != 0:
+        fail("selftest: clean run did not pass")
+        return 1
+
+    print("--- selftest: ~30% throughput regression must fail")
+    slow = copy.deepcopy(baseline)
+    slow["pipeline"]["data_pkts_per_sec"] = 0.7 * baseline["pipeline"]["data_pkts_per_sec"]
+    if compare(baseline, slow, 0.25, 0.05) != 1:
+        fail("selftest: throughput regression not detected")
+        return 1
+
+    print("--- selftest: allocating hot path must fail")
+    leaky = copy.deepcopy(baseline)
+    leaky["alloc_probe"]["allocs_per_packet"] = 0.5
+    if compare(baseline, leaky, 0.25, 0.05) != 1:
+        fail("selftest: alloc regression not detected")
+        return 1
+
+    print("--- selftest: non-deterministic sweep must fail")
+    nondet = copy.deepcopy(baseline)
+    nondet["sweep_scaling"][1]["identical_to_serial"] = False
+    if compare(baseline, nondet, 0.25, 0.05) != 1:
+        fail("selftest: determinism break not detected")
+        return 1
+
+    print("--- selftest: telemetry overhead blowout must fail")
+    heavy = copy.deepcopy(baseline)
+    heavy["telemetry"]["overhead_frac"] = 0.2
+    if compare(baseline, heavy, 0.25, 0.05) != 1:
+        fail("selftest: telemetry overhead not detected")
+        return 1
+
+    print("bench_compare: selftest PASS (all injected regressions detected)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed BENCH_pipeline.json")
+    ap.add_argument("--current", help="freshly produced micro_pipeline JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop in data_pkts_per_sec (default 0.25)",
+    )
+    ap.add_argument(
+        "--telemetry-budget",
+        type=float,
+        default=0.05,
+        help="max telemetry.overhead_frac in the current run (default 0.05)",
+    )
+    ap.add_argument("--selftest", action="store_true", help="run the gate self-check")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or use --selftest)")
+    return compare(load(args.baseline), load(args.current), args.tolerance, args.telemetry_budget)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

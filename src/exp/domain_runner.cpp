@@ -1,0 +1,114 @@
+#include "exp/domain_runner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/node.h"
+
+namespace pels {
+
+// The barrier injection captures a moved Packet plus a node reference into a
+// scheduler callback; pin the budget the same way net/link.cpp does.
+static_assert(Scheduler::Callback::capacity() >= sizeof(Packet) + 2 * sizeof(void*),
+              "kSchedulerCallbackCapacity (sim/scheduler.h) must fit a moved "
+              "Packet capture plus housekeeping pointers");
+
+namespace {
+
+unsigned pool_threads(const Topology& topo, unsigned requested) {
+  const auto domains = static_cast<unsigned>(topo.domain_count());
+  // One worker per domain is the natural maximum; SweepRunner then applies
+  // the hardware clamp on top.
+  return requested == 0 ? domains : std::min(requested, domains);
+}
+
+}  // namespace
+
+DomainRunner::DomainRunner(Topology& topo, unsigned threads)
+    : topo_(topo),
+      pool_(pool_threads(topo, threads)),
+      lookahead_(topo.min_boundary_delay()) {
+  const auto& boundary = topo_.boundary_links();
+  mail_.resize(boundary.size());
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    boundary[i].link->set_remote_delivery([this, i](Packet&& pkt, SimTime deliver_at) {
+      mail_[i].push_back(Handoff{std::move(pkt), deliver_at});
+    });
+  }
+}
+
+DomainRunner::~DomainRunner() {
+  // Detach the mailboxes before they are destroyed; the links may outlive
+  // this runner and fall back to ordinary local delivery.
+  for (const Topology::BoundaryLink& b : topo_.boundary_links()) {
+    b.link->set_remote_delivery(nullptr);
+  }
+}
+
+DomainRunner::Stats DomainRunner::stats() const {
+  Stats s;
+  s.requested_threads = pool_.requested_threads();
+  s.effective_threads = pool_.thread_count();
+  s.lookahead = lookahead_;
+  s.windows = windows_;
+  s.handoffs = handoffs_;
+  return s;
+}
+
+void DomainRunner::run_until(SimTime t_end) {
+  const std::size_t domains = topo_.domain_count();
+  if (domains <= 1) {
+    // Single domain: no boundaries, no barriers — plain sequential DES.
+    topo_.sim().run_until(t_end);
+    ++windows_;
+    return;
+  }
+  SimTime now = topo_.domain_sim(0).now();
+  while (now < t_end) {
+    // Window sizing: every event executed this window has time >= the
+    // earliest pending event across all domains, so every handoff it can
+    // produce arrives >= earliest + lookahead. Capping the window there
+    // keeps arrivals out of every domain's past — and when the earliest
+    // event is far away (or absent), the whole idle stretch is skipped in
+    // a single window instead of being barrier-stepped through.
+    SimTime earliest = kTimeNever;
+    for (std::size_t d = 0; d < domains; ++d) {
+      earliest = std::min(earliest,
+                          topo_.domain_sim(static_cast<int>(d)).scheduler().peek_next_time());
+    }
+    SimTime end = t_end;
+    if (earliest != kTimeNever && lookahead_ != kTimeNever) {
+      const SimTime horizon =
+          earliest > kTimeNever - lookahead_ ? kTimeNever : earliest + lookahead_;
+      end = std::min(t_end, horizon);
+    }
+    pool_.run_indexed(domains, [this, end](std::size_t d) {
+      topo_.domain_sim(static_cast<int>(d)).run_until(end);
+    });
+    ++windows_;
+
+    // Barrier: inject cross-domain arrivals, iterating boundary links in
+    // creation order and each mailbox FIFO. This order — not completion or
+    // thread order — decides scheduler tie-break sequence numbers in the
+    // destination, which is what makes the run byte-identical at any
+    // thread count.
+    const auto& boundary = topo_.boundary_links();
+    for (std::size_t i = 0; i < boundary.size(); ++i) {
+      std::vector<Handoff>& box = mail_[i];
+      if (box.empty()) continue;
+      Simulation& dst_sim = topo_.domain_sim(boundary[i].to_domain);
+      Node& dst = topo_.node(boundary[i].dst);
+      for (Handoff& h : box) {
+        assert(h.deliver_at >= end && "handoff arrived inside the lookahead window");
+        dst_sim.at(h.deliver_at, [&dst, pkt = std::move(h.pkt)]() mutable {
+          dst.receive(std::move(pkt));
+        });
+      }
+      handoffs_ += box.size();
+      box.clear();
+    }
+    now = end;
+  }
+}
+
+}  // namespace pels

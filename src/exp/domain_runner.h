@@ -1,0 +1,87 @@
+// Conservative intra-scenario parallel DES: run one scenario on all cores.
+//
+// SweepRunner parallelizes *across* independent scenarios; DomainRunner
+// parallelizes *within* one. The topology is partitioned into domains —
+// node sets whose events execute on their own Simulation/Scheduler — and
+// the only coupling between domains is packets crossing boundary links,
+// which by construction take at least the link's propagation delay to
+// arrive. That minimum delay is the classic conservative lookahead: every
+// domain may run `lookahead` ahead of the others without ever receiving a
+// message from its past.
+//
+// Execution is windowed (barrier flavour of the null-message idea):
+//   1. pick the next window end = min(t_end, earliest pending event across
+//      all domains + lookahead) — idle stretches are skipped in one hop;
+//   2. run every domain's scheduler to the window end, one domain per
+//      SweepRunner worker;
+//   3. barrier: drain the boundary-link mailboxes in deterministic order
+//      (link creation order, FIFO within a link) and schedule each packet's
+//      arrival into the destination domain at its precomputed deliver_at,
+//      which the lookahead guarantees is never in the destination's past.
+//
+// Determinism contract (same as SweepRunner's, DESIGN.md "Parallel
+// experiments"): a run at threads=N is byte-identical to threads=1. Window
+// boundaries are computed from simulation state only, each domain is
+// single-threaded within a window, and barrier injections happen on the
+// coordinating thread in a fixed order — so scheduler tie-break sequence
+// numbers, RNG draws, and every metric are independent of thread count and
+// thread placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "util/time.h"
+
+namespace pels {
+
+class DomainRunner {
+ public:
+  struct Stats {
+    unsigned requested_threads = 0;
+    unsigned effective_threads = 0;
+    SimTime lookahead = kTimeNever;
+    std::uint64_t windows = 0;   // barrier-separated execution windows
+    std::uint64_t handoffs = 0;  // packets exchanged across domains
+  };
+
+  /// Binds to `topo` and installs remote-delivery handlers on its boundary
+  /// links (uninstalled again on destruction). `threads` = 0 means one
+  /// worker per domain; the effective count is additionally clamped to
+  /// min(threads, domains, hardware). Construct before traffic flows and
+  /// drive the run exclusively through run_until() from one thread.
+  explicit DomainRunner(Topology& topo, unsigned threads = 0);
+  ~DomainRunner();
+
+  DomainRunner(const DomainRunner&) = delete;
+  DomainRunner& operator=(const DomainRunner&) = delete;
+
+  /// Advances every domain to `t_end` in lookahead windows. Callable
+  /// repeatedly with increasing targets (scenario warm-up, then measurement
+  /// phases). With one domain this degenerates to a plain run_until.
+  void run_until(SimTime t_end);
+
+  SimTime lookahead() const { return lookahead_; }
+  Stats stats() const;
+
+ private:
+  struct Handoff {
+    Packet pkt;
+    SimTime deliver_at;
+  };
+
+  Topology& topo_;
+  SweepRunner pool_;
+  SimTime lookahead_;
+  // One mailbox per boundary link, written only by the owning domain's
+  // worker during a window, drained only by the coordinator at the barrier
+  // (the pool join orders the two). No locks needed.
+  std::vector<std::vector<Handoff>> mail_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace pels

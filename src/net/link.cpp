@@ -63,7 +63,7 @@ void Link::on_pipeline_event() {
   pending_event_ = 0;
   ++pipeline_events_;
   const SimTime now = sim_.now();
-  while (!ring_.empty() && ring_.front().deliver_at <= now) deliver_front();
+  while (!ring_.empty() && head_due() <= now) deliver_front();
   if (busy_until_ <= now) {
     wire_settled_ = true;
     while (up_ && busy_until_ <= now && start_transmission(now)) {
@@ -87,6 +87,10 @@ void Link::deliver_front() {
   }
   ++delivered_;
   bytes_delivered_ += static_cast<std::uint64_t>(entry.pkt.size_bytes);
+  if (remote_) {
+    remote_(std::move(entry.pkt), entry.deliver_at);
+    return;
+  }
   dst_.receive(std::move(entry.pkt));
 }
 
@@ -96,7 +100,7 @@ void Link::reschedule(SimTime now) {
   // the deadlines coincide (common at a saturated bottleneck) the handler
   // does both in a single dispatch.
   SimTime next = -1;
-  if (!ring_.empty()) next = ring_.front().deliver_at;
+  if (!ring_.empty()) next = head_due();
   if (up_ && busy_until_ > now && !queue_->empty() &&
       (next < 0 || busy_until_ < next)) {
     next = busy_until_;
@@ -132,6 +136,16 @@ void Link::set_corruption(double prob, Rng rng) {
 void Link::add_corruption(CorruptionProcess process) {
   assert(process != nullptr);
   corruption_.push_back(std::move(process));
+}
+
+void Link::set_remote_delivery(RemoteDelivery handler) {
+  // Installing moves the handoff deadline of anything on the wire from
+  // deliver_at back to tx_end — possibly into the past — so only an idle
+  // link may become a boundary. Clearing is always safe: the pending event
+  // fires at tx_end, finds the head not yet due locally, and re-arms at
+  // deliver_at.
+  assert((!handler || ring_.empty()) && "install remote delivery before traffic flows");
+  remote_ = std::move(handler);
 }
 
 void Link::set_up(bool up) {

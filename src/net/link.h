@@ -82,6 +82,21 @@ class Link {
 
   std::uint64_t packets_corrupted() const { return corrupted_; }
 
+  /// Cross-domain delivery hook (parallel DES, see exp/domain_runner.h).
+  /// When set, this link is a *boundary* link: a packet leaving the wire is
+  /// handed to `handler` at serialization end together with its computed
+  /// arrival time (tx_end + prop_delay) instead of being held locally for
+  /// propagation — the domain runner re-schedules the arrival in the
+  /// destination domain's scheduler at the next window barrier. Carrier
+  /// loss and corruption are still evaluated here, at wire exit, exactly as
+  /// for local delivery, and packets_delivered()/bytes_delivered() count at
+  /// handoff (once on the wire past corruption, nothing can stop the
+  /// arrival). Install before traffic flows; pass nullptr to restore local
+  /// delivery (only safe while nothing is in flight).
+  using RemoteDelivery = std::function<void(Packet&&, SimTime deliver_at)>;
+  void set_remote_delivery(RemoteDelivery handler);
+  bool has_remote_delivery() const { return static_cast<bool>(remote_); }
+
   /// Takes the link down / brings it back up (fault injection). While down,
   /// nothing serializes: the queue keeps accepting (and eventually
   /// tail-dropping) packets, and the packet on the wire at down-time is
@@ -128,6 +143,13 @@ class Link {
   void on_pipeline_event();
   /// Starts serializing the queue head at `now`; false if the queue is empty.
   bool start_transmission(SimTime now);
+  /// When the ring head must be resolved: local links wait out propagation
+  /// (deliver_at); boundary links hand off at wire exit (tx_end) so the
+  /// packet reaches its mailbox within the lookahead window that produced
+  /// it. Caller guarantees a non-empty ring.
+  SimTime head_due() const {
+    return remote_ ? ring_.front().tx_end : ring_.front().deliver_at;
+  }
   /// Pops and resolves the ring head: corruption (evaluated with the recorded
   /// serialization-end time, preserving order and timestamps) or delivery.
   void deliver_front();
@@ -162,6 +184,7 @@ class Link {
   std::uint64_t pipeline_events_ = 0;
   std::vector<CorruptionProcess> corruption_;
   std::uint64_t corrupted_ = 0;
+  RemoteDelivery remote_;  // set iff this is a cross-domain boundary link
 };
 
 }  // namespace pels

@@ -1,35 +1,72 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <stdexcept>
 
 namespace pels {
 
-Host& Topology::add_host(std::string name) {
+int Topology::add_domain(Simulation& sim) {
+  domain_sims_.push_back(&sim);
+  return static_cast<int>(domain_sims_.size()) - 1;
+}
+
+Host& Topology::add_host(std::string name, int domain) {
+  if (domain < 0 || static_cast<std::size_t>(domain) >= domain_sims_.size()) {
+    throw std::invalid_argument("add_host: unknown domain " + std::to_string(domain));
+  }
   const auto id = static_cast<NodeId>(nodes_.size());
   auto host = std::make_unique<Host>(id, std::move(name));
   Host& ref = *host;
   nodes_.push_back(std::move(host));
+  node_domains_.push_back(domain);
   return ref;
 }
 
-Router& Topology::add_router(std::string name) {
+Router& Topology::add_router(std::string name, int domain) {
+  if (domain < 0 || static_cast<std::size_t>(domain) >= domain_sims_.size()) {
+    throw std::invalid_argument("add_router: unknown domain " + std::to_string(domain));
+  }
   const auto id = static_cast<NodeId>(nodes_.size());
   auto router = std::make_unique<Router>(id, std::move(name));
   Router& ref = *router;
   nodes_.push_back(std::move(router));
+  node_domains_.push_back(domain);
   return ref;
 }
 
 Link& Topology::add_link(Node& from, Node& to, double bandwidth_bps, SimTime prop_delay,
                          const QueueFactory& make_queue) {
-  auto link = std::make_unique<Link>(sim_, to, bandwidth_bps, prop_delay,
+  const int from_domain = node_domain(from.id());
+  const int to_domain = node_domain(to.id());
+  if (from_domain != to_domain && prop_delay <= 0) {
+    throw std::invalid_argument(
+        "add_link: a cross-domain link needs prop_delay > 0 (it is the "
+        "conservative lookahead between '" +
+        from.name() + "' and '" + to.name() + "')");
+  }
+  // The link's events run in the source node's domain: serialization and
+  // queueing are source-side physics; only the arrival crosses over.
+  Simulation& owner = *domain_sims_[static_cast<std::size_t>(from_domain)];
+  auto link = std::make_unique<Link>(owner, to, bandwidth_bps, prop_delay,
                                      make_queue(bandwidth_bps));
   Link& ref = *link;
   links_.push_back(std::move(link));
   edges_.push_back(Edge{from.id(), to.id(), &ref});
+  if (from_domain != to_domain) {
+    boundary_links_.push_back(BoundaryLink{&ref, from_domain, to_domain, to.id()});
+  }
   return ref;
+}
+
+SimTime Topology::min_boundary_delay() const {
+  SimTime min_delay = kTimeNever;
+  for (const BoundaryLink& b : boundary_links_) {
+    min_delay = std::min(min_delay, b.link->prop_delay());
+  }
+  return min_delay;
 }
 
 std::pair<Link*, Link*> Topology::connect(Node& a, Node& b, double bandwidth_bps,
@@ -46,7 +83,7 @@ void Topology::reserve_runtime(std::size_t expected_flows) {
   // grows the scheduler's heap or slot pool mid-run (Scheduler::Stats
   // heap_capacity/slot_capacity let tests assert that).
   const std::size_t events = 16 + 2 * links_.size() + 4 * expected_flows;
-  sim_.scheduler().reserve(events);
+  for (Simulation* sim : domain_sims_) sim->scheduler().reserve(events);
   for (auto& link : links_) {
     // Bandwidth-delay product in packets, assuming ~1000-byte packets: the
     // deepest the in-flight ring can get in steady state.

@@ -25,15 +25,58 @@ using QueueFactory = std::function<std::unique_ptr<QueueDisc>(double bandwidth_b
 
 class Topology {
  public:
-  explicit Topology(Simulation& sim) : sim_(sim) {}
+  /// Single-domain topology: every node lives in domain 0, driven by `sim`.
+  explicit Topology(Simulation& sim) : sim_(sim) { domain_sims_.push_back(&sim); }
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
-  Host& add_host(std::string name);
-  Router& add_router(std::string name);
+  // ------------------------------------------------------------------
+  // Domain partitioning (conservative parallel DES, DESIGN.md "Parallel
+  // experiments"). A domain is a set of nodes whose events are executed by
+  // one Simulation/Scheduler; links between nodes of different domains are
+  // *boundary* links and must have prop_delay > 0 — the minimum boundary
+  // delay is the lookahead that bounds how far domains may run between
+  // barriers (see exp/domain_runner.h). Single-domain topologies are
+  // unaffected: domain 0 is the constructor's Simulation.
+  // ------------------------------------------------------------------
 
-  /// Adds a unidirectional link from `from` to `to`. Returns the link.
+  /// Registers an additional domain driven by `sim` (one Simulation per
+  /// domain; do not reuse). Returns the new domain id. Add domains before
+  /// the nodes that live in them.
+  int add_domain(Simulation& sim);
+
+  std::size_t domain_count() const { return domain_sims_.size(); }
+  Simulation& domain_sim(int domain) {
+    return *domain_sims_.at(static_cast<std::size_t>(domain));
+  }
+  int node_domain(NodeId id) const {
+    return node_domains_.at(static_cast<std::size_t>(id));
+  }
+
+  /// A link whose endpoints live in different domains. `dst` is the
+  /// receiving node; the link itself is owned (and its events executed) by
+  /// the *source* node's domain.
+  struct BoundaryLink {
+    Link* link;
+    int from_domain;
+    int to_domain;
+    NodeId dst;
+  };
+  const std::vector<BoundaryLink>& boundary_links() const { return boundary_links_; }
+
+  /// Minimum propagation delay across boundary links — the lookahead bound
+  /// for conservative parallel execution. kTimeNever when the domains never
+  /// exchange packets (no boundary links).
+  SimTime min_boundary_delay() const;
+
+  Host& add_host(std::string name, int domain = 0);
+  Router& add_router(std::string name, int domain = 0);
+
+  /// Adds a unidirectional link from `from` to `to`. Returns the link. The
+  /// link is driven by `from`'s domain; a cross-domain link must have
+  /// prop_delay > 0 (throws std::invalid_argument otherwise — zero-delay
+  /// boundaries would make the conservative lookahead vanish).
   Link& add_link(Node& from, Node& to, double bandwidth_bps, SimTime prop_delay,
                  const QueueFactory& make_queue);
 
@@ -55,6 +98,7 @@ class Topology {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
   Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  /// Domain 0's Simulation (the only one in single-domain topologies).
   Simulation& sim() { return sim_; }
 
  private:
@@ -65,6 +109,9 @@ class Topology {
   };
 
   Simulation& sim_;
+  std::vector<Simulation*> domain_sims_;
+  std::vector<int> node_domains_;  // parallel to nodes_
+  std::vector<BoundaryLink> boundary_links_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Edge> edges_;

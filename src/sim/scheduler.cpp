@@ -87,6 +87,19 @@ void Scheduler::run_until(SimTime t_end) {
   if (now_ < t_end) now_ = t_end;
 }
 
+SimTime Scheduler::peek_next_time() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].gen != top.gen) {
+      pop_top();
+      ++stale_skipped_;
+      continue;
+    }
+    return top.t;
+  }
+  return kTimeNever;
+}
+
 void Scheduler::run() {
   while (step()) {
   }

@@ -124,6 +124,15 @@ class Scheduler {
   /// min(t_end, drain time).
   void run_until(SimTime t_end);
 
+  /// Timestamp of the earliest pending (non-cancelled) event, or kTimeNever
+  /// when none remain. Prunes stale heap entries encountered at the top —
+  /// the same lazy sweep run_until performs — so the answer reflects live
+  /// events only. This is the lookahead-window hook: DomainRunner sizes the
+  /// next synchronization window from the minimum across all domain
+  /// schedulers, letting idle stretches be skipped in one hop instead of
+  /// barrier-stepping through empty windows.
+  SimTime peek_next_time();
+
   /// Runs until the event queue is empty.
   void run();
 

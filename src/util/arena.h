@@ -1,0 +1,105 @@
+// Monotonic scratch arena: bump-pointer allocation with O(1) reset.
+//
+// Sweep tasks build and tear down an entire scenario per grid point; the
+// allocator traffic of that churn is the last contended resource the
+// parallel engines share (the global heap serializes workers behind malloc's
+// locks). A ScratchArena gives each SweepRunner worker a private slab to
+// carve per-task temporaries from: allocation is a pointer bump, reset() at
+// task end rewinds the slab (retaining the largest block, so the steady
+// state allocates nothing), and nothing is ever freed mid-task.
+//
+// Only trivially-destructible payloads belong here — reset() does not run
+// destructors. The arena is single-threaded by construction: each worker
+// owns one (see SweepRunner::worker_scratch()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pels {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). Never returns
+  /// nullptr; grows by doubling blocks when the current one is exhausted.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    if (p + size > limit_) {
+      grow(size + align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    }
+    cursor_ = p + size;
+    used_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed array allocation. The elements are NOT constructed or destroyed
+  /// by the arena, so the payload must be trivially destructible.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ScratchArena::reset() never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the arena: every prior allocation is invalidated, the largest
+  /// block is retained, and the rest are released. After warm-up a
+  /// task/reset cycle with a stable footprint touches the heap zero times.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // Keep only the biggest block (always the last: growth doubles).
+      Block largest = std::move(blocks_.back());
+      blocks_.clear();
+      blocks_.push_back(std::move(largest));
+    }
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.front().data.get());
+      limit_ = cursor_ + blocks_.front().size;
+    }
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (excludes alignment padding).
+  std::size_t bytes_used() const { return used_; }
+
+  /// Total bytes owned across all blocks.
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size = blocks_.empty() ? kInitialBlock : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(b));
+  }
+
+  static constexpr std::size_t kInitialBlock = 4096;
+
+  std::vector<Block> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace pels

@@ -1,0 +1,263 @@
+// DomainRunner tests: conservative intra-scenario parallel DES.
+//
+// The contract under test (DESIGN.md "Parallel experiments"): partitioning
+// a topology into link-delay-separated domains changes *nothing* observable
+// — packet arrival timestamps equal the monolithic single-scheduler run —
+// and the partitioned run is byte-identical at any thread count, because
+// window boundaries derive from simulation state only and barrier
+// injections happen in fixed boundary-link order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/domain_runner.h"
+#include "net/topology.h"
+#include "queue/drop_tail.h"
+#include "sim/timer.h"
+
+namespace pels {
+namespace {
+
+const QueueFactory kDropTail = [](double) { return std::make_unique<DropTailQueue>(64); };
+
+/// Logs every arrival as (local sim time, uid); the serialized log is the
+/// byte-identity witness.
+struct RecordingAgent : public Agent {
+  explicit RecordingAgent(Simulation& sim) : sim_(sim) {}
+  void on_packet(const Packet& pkt) override { log_.emplace_back(sim_.now(), pkt.uid); }
+
+  std::string serialize() const {
+    std::ostringstream out;
+    for (const auto& [t, uid] : log_) out << t << ':' << uid << ';';
+    return out.str();
+  }
+  std::size_t arrivals() const { return log_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::pair<SimTime, std::uint64_t>> log_;
+};
+
+/// Paced packet injector: `rate_pps` packets/s of `bytes`-sized packets from
+/// `src` to `dst` under `flow`, driven by the scheduler of `src`'s domain.
+class PacedFlow {
+ public:
+  PacedFlow(Scheduler& sched, Host& src, NodeId dst, FlowId flow, double rate_pps,
+            std::int32_t bytes)
+      : sched_(sched),
+        src_(src),
+        dst_(dst),
+        flow_(flow),
+        bytes_(bytes),
+        timer_(sched, from_seconds(1.0 / rate_pps), [this] {
+          Packet pkt;
+          pkt.uid = (static_cast<std::uint64_t>(flow_) << 32) | ++seq_;
+          pkt.flow = flow_;
+          pkt.seq = seq_;
+          pkt.size_bytes = bytes_;
+          pkt.src = src_.id();
+          pkt.dst = dst_;
+          pkt.created_at = sched_.now();
+          src_.send(std::move(pkt));
+        }) {
+    timer_.start();
+  }
+
+  void stop() { timer_.stop(); }
+
+ private:
+  Scheduler& sched_;
+  Host& src_;
+  NodeId dst_;
+  FlowId flow_;
+  std::int32_t bytes_;
+  std::uint32_t seq_ = 0;
+  PeriodicTimer timer_;
+};
+
+/// A 4-node chain host_a - r1 ===boundary=== r2 - host_b with bidirectional
+/// traffic (two paced flows), optionally split into two domains at the
+/// r1<->r2 links. Owns everything needed to run and serialize the result.
+struct ChainScenario {
+  static constexpr SimTime kBoundaryDelay = 25 * kMillisecond;
+
+  explicit ChainScenario(bool partitioned, bool corrupt_boundary = false) {
+    sims.push_back(std::make_unique<Simulation>(7));
+    topo = std::make_unique<Topology>(*sims[0]);
+    int far = 0;
+    if (partitioned) {
+      sims.push_back(std::make_unique<Simulation>(7));
+      far = topo->add_domain(*sims[1]);
+    }
+    Host& a = topo->add_host("a");
+    Router& r1 = topo->add_router("r1");
+    Router& r2 = topo->add_router("r2", far);
+    Host& b = topo->add_host("b", far);
+    topo->connect(a, r1, 10e6, kMillisecond, kDropTail);
+    auto [ab, ba] = topo->connect(r1, r2, 8e6, kBoundaryDelay, kDropTail);
+    boundary_ab = ab;
+    topo->connect(r2, b, 10e6, kMillisecond, kDropTail);
+    if (corrupt_boundary) {
+      ab->set_corruption(0.05, sims[0]->make_rng(99));
+      ba->set_corruption(0.05, sims.back()->make_rng(99));
+    }
+    topo->compute_routes();
+    topo->reserve_runtime(2);
+    sink_b = std::make_unique<RecordingAgent>(*sims[far == 0 ? 0 : 1]);
+    sink_a = std::make_unique<RecordingAgent>(*sims[0]);
+    b.register_agent(1, sink_b.get());
+    a.register_agent(2, sink_a.get());
+    forward = std::make_unique<PacedFlow>(sims[0]->scheduler(), a, b.id(), 1, 900.0, 1000);
+    reverse = std::make_unique<PacedFlow>(sims[far == 0 ? 0 : 1]->scheduler(), b, a.id(), 2,
+                                          400.0, 400);
+  }
+
+  std::string trace() const { return sink_b->serialize() + "|" + sink_a->serialize(); }
+
+  std::vector<std::unique_ptr<Simulation>> sims;
+  std::unique_ptr<Topology> topo;
+  Link* boundary_ab = nullptr;
+  std::unique_ptr<RecordingAgent> sink_a;
+  std::unique_ptr<RecordingAgent> sink_b;
+  std::unique_ptr<PacedFlow> forward;
+  std::unique_ptr<PacedFlow> reverse;
+};
+
+// --------------------------------------------------- timing equivalence
+
+TEST(DomainRunnerTest, PartitionedRunMatchesMonolithicTimings) {
+  ChainScenario mono(/*partitioned=*/false);
+  mono.sims[0]->run_until(2 * kSecond);
+
+  ChainScenario part(/*partitioned=*/true);
+  DomainRunner runner(*part.topo, 2);
+  runner.run_until(2 * kSecond);
+
+  EXPECT_GT(part.sink_b->arrivals(), 1000u);
+  EXPECT_GT(part.sink_a->arrivals(), 400u);
+  // Every arrival timestamp identical: the handoff re-schedules at exactly
+  // tx_end + prop_delay, which is when local propagation would deliver.
+  EXPECT_EQ(part.trace(), mono.trace());
+}
+
+TEST(DomainRunnerTest, ByteIdenticalAtAnyThreadCount) {
+  std::string serial;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ChainScenario s(/*partitioned=*/true);
+    DomainRunner runner(*s.topo, threads);
+    runner.run_until(3 * kSecond);
+    const std::string trace = s.trace();
+    if (threads == 1) {
+      serial = trace;
+      ASSERT_FALSE(serial.empty());
+    } else {
+      EXPECT_EQ(trace, serial) << "threads=" << threads << " diverged from threads=1";
+    }
+  }
+}
+
+TEST(DomainRunnerTest, CorruptedBoundaryStaysDeterministic) {
+  // Corruption is evaluated at wire exit in the source domain; the RNG
+  // chain must replay identically regardless of thread count.
+  std::string serial;
+  std::uint64_t corrupted = 0;
+  for (unsigned threads : {1u, 2u}) {
+    ChainScenario s(/*partitioned=*/true, /*corrupt_boundary=*/true);
+    DomainRunner runner(*s.topo, threads);
+    runner.run_until(3 * kSecond);
+    if (threads == 1) {
+      serial = s.trace();
+      corrupted = s.boundary_ab->packets_corrupted();
+      EXPECT_GT(corrupted, 0u);  // 5% of ~2700 packets: losing none is broken
+    } else {
+      EXPECT_EQ(s.trace(), serial);
+      EXPECT_EQ(s.boundary_ab->packets_corrupted(), corrupted);
+    }
+  }
+}
+
+// --------------------------------------------------------- window engine
+
+TEST(DomainRunnerTest, LookaheadIsMinBoundaryDelayAndStatsFill) {
+  ChainScenario s(/*partitioned=*/true);
+  DomainRunner runner(*s.topo, 2);
+  runner.run_until(kSecond);
+  const DomainRunner::Stats st = runner.stats();
+  EXPECT_EQ(st.lookahead, ChainScenario::kBoundaryDelay);
+  EXPECT_EQ(s.topo->min_boundary_delay(), ChainScenario::kBoundaryDelay);
+  EXPECT_EQ(st.requested_threads, 2u);
+  EXPECT_GE(st.effective_threads, 1u);
+  EXPECT_LE(st.effective_threads, 2u);
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_GT(st.handoffs, 0u);
+  // Both sims reached the target in lockstep.
+  EXPECT_EQ(s.sims[0]->now(), kSecond);
+  EXPECT_EQ(s.sims[1]->now(), kSecond);
+}
+
+TEST(DomainRunnerTest, IdleStretchesAreSkippedNotBarrierStepped) {
+  ChainScenario s(/*partitioned=*/true);
+  // Stop both flows early; after the pipes drain the schedulers go empty.
+  s.sims[0]->at(200 * kMillisecond, [&s] { s.forward->stop(); });
+  s.sims[1]->at(200 * kMillisecond, [&s] { s.reverse->stop(); });
+  DomainRunner runner(*s.topo, 2);
+  runner.run_until(60 * kSecond);
+  // Naive fixed-grid windows would need 60 s / 25 ms = 2400 barriers; the
+  // adaptive window jumps the idle 59.8 s in one hop.
+  EXPECT_LT(runner.stats().windows, 200u);
+  EXPECT_EQ(s.sims[0]->now(), 60 * kSecond);
+  EXPECT_EQ(s.sims[1]->now(), 60 * kSecond);
+}
+
+TEST(DomainRunnerTest, RepeatedRunUntilContinuesCleanly) {
+  ChainScenario whole(/*partitioned=*/true);
+  DomainRunner wr(*whole.topo, 2);
+  wr.run_until(2 * kSecond);
+
+  ChainScenario phased(/*partitioned=*/true);
+  DomainRunner pr(*phased.topo, 2);
+  pr.run_until(500 * kMillisecond);  // warm-up phase
+  pr.run_until(2 * kSecond);         // measurement phase
+  EXPECT_EQ(phased.trace(), whole.trace());
+}
+
+TEST(DomainRunnerTest, SingleDomainTopologyFallsBackToSequentialRun) {
+  ChainScenario s(/*partitioned=*/false);
+  DomainRunner runner(*s.topo, 4);
+  runner.run_until(kSecond);
+  EXPECT_EQ(s.sims[0]->now(), kSecond);
+  EXPECT_EQ(runner.stats().windows, 1u);
+  EXPECT_EQ(runner.stats().handoffs, 0u);
+  EXPECT_GT(s.sink_b->arrivals(), 0u);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(DomainRunnerTest, ZeroDelayBoundaryLinkIsRejected) {
+  Simulation sim_a(1);
+  Simulation sim_b(1);
+  Topology topo(sim_a);
+  const int far = topo.add_domain(sim_b);
+  Host& a = topo.add_host("a");
+  Host& b = topo.add_host("b", far);
+  EXPECT_THROW(topo.add_link(a, b, 1e6, 0, kDropTail), std::invalid_argument);
+  // Same-domain zero-delay links stay legal.
+  Host& a2 = topo.add_host("a2");
+  EXPECT_NO_THROW(topo.add_link(a, a2, 1e6, 0, kDropTail));
+}
+
+TEST(DomainRunnerTest, UnknownDomainIsRejected) {
+  Simulation sim(1);
+  Topology topo(sim);
+  EXPECT_THROW(topo.add_host("x", 1), std::invalid_argument);
+  EXPECT_THROW(topo.add_router("y", -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pels

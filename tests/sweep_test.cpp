@@ -4,8 +4,10 @@
 // parallel invisible in a bench's stdout.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -22,12 +24,62 @@ namespace {
 
 // ------------------------------------------------------------ pool basics
 
-TEST(SweepRunnerTest, ExplicitThreadCountIsHonoured) {
+TEST(SweepRunnerTest, ExplicitThreadCountIsClampedToHardware) {
   SweepRunner one(1);
   EXPECT_EQ(one.thread_count(), 1u);
+  EXPECT_EQ(one.requested_threads(), 1u);
+  // Oversubscribing a DES sweep only adds scheduling noise (this is what
+  // produced the phantom "scaling regression" on small CI boxes), so the
+  // worker count is clamped to the hardware while the request is preserved
+  // for reporting.
   SweepRunner four(4);
-  EXPECT_EQ(four.thread_count(), 4u);
+  EXPECT_EQ(four.requested_threads(), 4u);
+  EXPECT_EQ(four.thread_count(), std::min(4u, SweepRunner::hardware_threads()));
+  EXPECT_GE(SweepRunner::hardware_threads(), 1u);
   EXPECT_GE(SweepRunner::default_threads(), 1u);
+  EXPECT_LE(SweepRunner::default_threads(), SweepRunner::hardware_threads());
+}
+
+TEST(SweepRunnerTest, StatsCountBatchesAndJobs) {
+  SweepRunner runner(2);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 5; ++i) tasks.push_back([i] { return i; });
+  (void)runner.run(std::move(tasks));
+  runner.run_indexed(3, [](std::size_t) {});
+  const SweepRunner::Stats st = runner.stats();
+  EXPECT_EQ(st.requested_threads, 2u);
+  EXPECT_EQ(st.effective_threads, runner.thread_count());
+  EXPECT_EQ(st.batches, 2u);
+  EXPECT_EQ(st.jobs, 8u);
+}
+
+TEST(SweepRunnerTest, RunIndexedExecutesEveryIndexExactlyOnce) {
+  // Task count >> workers and >> the claim chunk, so the ticket counter has
+  // to hand out many disjoint ranges; each index must be claimed once.
+  SweepRunner runner(8);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  runner.run_indexed(kN, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SweepRunnerTest, WorkerScratchResetsBetweenTasks) {
+  SweepRunner runner(2);
+  std::atomic<bool> dirty{false};
+  runner.run_indexed(64, [&dirty](std::size_t i) {
+    ScratchArena& arena = SweepRunner::worker_scratch();
+    // The arena is rewound after every task, so used bytes start at zero
+    // even though a previous task on this worker allocated.
+    if (arena.bytes_used() != 0) dirty = true;
+    int* block = arena.alloc_array<int>(256);
+    block[0] = static_cast<int>(i);
+    if (arena.bytes_used() < 256 * sizeof(int)) dirty = true;
+  });
+  EXPECT_FALSE(dirty.load());
 }
 
 TEST(SweepRunnerTest, ResultsArriveInSubmissionOrder) {
@@ -101,6 +153,22 @@ TEST(SweepRunnerTest, RunToTableNamesFailedPoints) {
     EXPECT_NE(what.find("bad config point"), std::string::npos);
     EXPECT_NE(what.find("1"), std::string::npos);  // the failed task's index
   }
+}
+
+TEST(SweepRunnerTest, RunToTableLeavesTableUntouchedOnFailure) {
+  // Rows are staged and committed only when the whole sweep succeeded; a
+  // failed point must not leave a half-filled table behind (a retry at the
+  // caller would otherwise emit the successful points twice).
+  SweepRunner runner(2);
+  TablePrinter table({"x"});
+  std::vector<std::function<SweepOutput()>> tasks;
+  tasks.push_back([] { return SweepOutput{{{"ok0"}}, "stdout of the ok task\n"}; });
+  tasks.push_back([]() -> SweepOutput { throw std::runtime_error("boom"); });
+  tasks.push_back([] { return SweepOutput{{{"ok2"}}, ""}; });
+  EXPECT_THROW(run_to_table(runner, std::move(tasks), table), std::runtime_error);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_EQ(csv.str(), "x\n") << "failed sweep committed rows";
 }
 
 // ------------------------------------------------ submission-order buffering
@@ -222,6 +290,79 @@ std::string fault_sweep_csv(unsigned threads) {
 TEST(SweepRunnerTest, FaultPlanSweepIsDeterministicAcrossThreadCounts) {
   const std::string serial = fault_sweep_csv(1);
   EXPECT_EQ(fault_sweep_csv(8), serial);
+}
+
+// ------------------------------------------------------- concurrency stress
+//
+// TSan target (ctest -L concurrency): hammer the epoch-tagged ticket
+// dispatcher from several submitting threads at once, with task counts far
+// above the worker count so every batch forces many chunked claims and the
+// done-counter release chain is exercised under contention. Any missed
+// synchronization between a worker finishing batch N and a submitter
+// starting batch N+1 shows up here as a data race or a wrong sum.
+
+TEST(SweepRunnerTest, ConcurrentSubmittersStress) {
+  SweepRunner runner(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kBatchesPerSubmitter = 12;
+  constexpr std::size_t kJobsPerBatch = 512;  // >> workers and >> chunk size
+  std::vector<std::thread> submitters;
+  std::vector<std::string> failures(kSubmitters);
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&runner, &failures, s] {
+      for (int b = 0; b < kBatchesPerSubmitter; ++b) {
+        // Plain (unpadded, non-atomic) result slots: the pool's join must
+        // publish every worker's writes to the submitter, and TSan checks
+        // exactly that release chain.
+        std::vector<std::uint64_t> results(kJobsPerBatch, 0);
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(kJobsPerBatch);
+        for (std::size_t i = 0; i < kJobsPerBatch; ++i) {
+          jobs.push_back([&results, s, b, i] {
+            // Touch the worker arena too: per-worker scratch must not be
+            // shared across concurrently-running batches.
+            auto* scratch = SweepRunner::worker_scratch().alloc_array<std::uint64_t>(16);
+            scratch[0] = static_cast<std::uint64_t>(s * 1'000'000 + b * 1'000) + i;
+            results[i] = scratch[0];
+          });
+        }
+        runner.run_jobs(std::move(jobs));
+        for (std::size_t i = 0; i < kJobsPerBatch; ++i) {
+          if (results[i] != static_cast<std::uint64_t>(s * 1'000'000 + b * 1'000) + i) {
+            failures[s] = "submitter " + std::to_string(s) + " batch " + std::to_string(b) +
+                          " job " + std::to_string(i) + " lost or corrupted";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
+TEST(SweepRunnerTest, ConcurrentRunIndexedStress) {
+  // run_indexed from competing threads: batches must serialize without
+  // interleaving their ticket spaces (the epoch tag is what prevents a
+  // straggler from one batch claiming indices of the next).
+  SweepRunner runner(4);
+  constexpr std::size_t kN = 2'048;
+  std::vector<std::atomic<int>> hits(kN);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 3; ++s) {
+    submitters.emplace_back([&runner, &hits] {
+      for (int round = 0; round < 8; ++round) {
+        runner.run_indexed(kN, [&hits](std::size_t i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 3 * 8) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -12,7 +12,15 @@ Checks, in order:
          allocation-free by design),
        - every sweep_scaling entry is identical_to_serial (determinism),
        - telemetry.overhead_frac <= --telemetry-budget (default 5%; the
-         recorded target is 2%, the gate adds noise margin).
+         recorded target is 2%, the gate adds noise margin);
+  4. scaling: on a box with hardware_threads >= 2, every sweep_scaling entry
+     actually running >= 2 effective (non-oversubscribed) workers must reach
+     at least --min-speedup (default 0.8x) over serial — parallelism that
+     makes the sweep *slower* is a dispatch-contention regression, the exact
+     failure mode the single-mutex pool had. Oversubscribed entries
+     (requested > hardware, annotated by the bench) are exempt: the clamp
+     makes them duplicates of the at-hardware point. On a single-core box
+     the whole check is skipped with a notice — there is nothing to scale.
 
 Determinism notes (data_packets vs baseline) are warnings only: simulated
 delivery counts shift whenever scenario behaviour legitimately changes, and
@@ -70,7 +78,58 @@ def check_schema(doc: dict, label: str) -> list[str]:
     return errors
 
 
-def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: float) -> int:
+def check_scaling(current: dict, min_speedup: float) -> int:
+    """Gate the sweep's parallel speedup; returns the number of failures.
+
+    Skips cleanly (with a notice) when the box cannot scale: either
+    hardware_threads < 2, or no entry ran >= 2 effective workers without
+    oversubscription. Entries missing the per-entry thread fields (a JSON
+    from an older binary) fall back to treating requested == effective.
+    """
+    hw = int(current.get("hardware_threads", 0))
+    if hw < 2:
+        print(
+            f"scaling gate: SKIPPED (hardware_threads = {hw}; a single-core "
+            "box has nothing to scale)"
+        )
+        return 0
+    failures = 0
+    gated = 0
+    for entry in current["sweep_scaling"]:
+        requested = int(entry.get("threads", 1))
+        effective = int(entry.get("effective_threads", requested))
+        oversub = bool(entry.get("oversubscribed", requested > hw))
+        speedup = float(entry.get("speedup", 0.0))
+        if effective < 2:
+            continue
+        if oversub:
+            print(
+                f"scaling gate: threads={requested} oversubscribed "
+                f"(effective {effective} of {hw} hw) — annotated, not gated"
+            )
+            continue
+        gated += 1
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"scaling gate: threads={requested} (effective {effective}) "
+            f"speedup {speedup:.2f}x (floor {min_speedup:.2f}x) {verdict}"
+        )
+        if speedup < min_speedup:
+            fail(
+                f"sweep_scaling threads={requested} speedup {speedup:.2f}x "
+                f"< {min_speedup:.2f}x: parallel dispatch is eating its own gains"
+            )
+            failures += 1
+    if gated == 0 and failures == 0:
+        print(
+            "scaling gate: SKIPPED (no entry with >= 2 effective, "
+            "non-oversubscribed workers)"
+        )
+    return failures
+
+
+def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: float,
+            min_speedup: float = 0.8) -> int:
     errors = check_schema(baseline, "baseline") + check_schema(current, "current")
     if errors:
         for e in errors:
@@ -112,10 +171,14 @@ def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: f
         fail(f"sweep output not byte-identical to serial at threads: {threads}")
         failures += 1
 
+    failures += check_scaling(current, min_speedup)
+
     overhead = float(current["telemetry"]["overhead_frac"])
+    noise = current["telemetry"].get("noise_floor_frac")
+    noise_note = f", noise floor {100 * float(noise):.2f}%" if noise is not None else ""
     print(
         f"telemetry overhead: {100 * overhead:.2f}% "
-        f"(gate {100 * telemetry_budget:.0f}%, recorded target 2%)"
+        f"(gate {100 * telemetry_budget:.0f}%, recorded target 2%{noise_note})"
     )
     if overhead > telemetry_budget:
         fail(
@@ -146,16 +209,28 @@ def selftest() -> int:
         "schema_version": 1,
         "bench": "micro_pipeline",
         "smoke": False,
+        "hardware_threads": 8,
         "pipeline": {
             "median_wall_ms": 1000.0,
             "data_packets": 500000,
             "data_pkts_per_sec": 400000.0,
         },
-        "telemetry": {"data_pkts_per_sec": 396000.0, "overhead_frac": 0.01},
+        "telemetry": {
+            "data_pkts_per_sec": 396000.0,
+            "overhead_frac": 0.01,
+            "overhead_frac_raw": 0.01,
+            "noise_floor_frac": 0.02,
+        },
         "alloc_probe": {"allocs_per_packet": 0.0, "steady_allocs": 0},
         "sweep_scaling": [
-            {"threads": 1, "identical_to_serial": True},
-            {"threads": 8, "identical_to_serial": True},
+            {"threads": 1, "effective_threads": 1, "oversubscribed": False,
+             "speedup": 1.0, "identical_to_serial": True},
+            {"threads": 2, "effective_threads": 2, "oversubscribed": False,
+             "speedup": 1.8, "identical_to_serial": True},
+            {"threads": 8, "effective_threads": 8, "oversubscribed": False,
+             "speedup": 5.5, "identical_to_serial": True},
+            {"threads": 16, "effective_threads": 8, "oversubscribed": True,
+             "speedup": 5.2, "identical_to_serial": True},
         ],
     }
     clean = copy.deepcopy(baseline)
@@ -185,6 +260,33 @@ def selftest() -> int:
         fail("selftest: determinism break not detected")
         return 1
 
+    print("--- selftest: parallel sweep slower than serial must fail")
+    unscaling = copy.deepcopy(baseline)
+    # The pre-fix symptom verbatim: more threads, *less* throughput.
+    unscaling["sweep_scaling"][1]["speedup"] = 0.72
+    unscaling["sweep_scaling"][2]["speedup"] = 0.64
+    if compare(baseline, unscaling, 0.25, 0.05) != 1:
+        fail("selftest: scaling regression not detected")
+        return 1
+
+    print("--- selftest: oversubscribed entry below floor must NOT fail")
+    clamped = copy.deepcopy(baseline)
+    clamped["sweep_scaling"][3]["speedup"] = 0.5  # annotated oversubscribed
+    if compare(baseline, clamped, 0.25, 0.05) != 0:
+        fail("selftest: oversubscribed entry was gated despite annotation")
+        return 1
+
+    print("--- selftest: single-core box must skip the scaling gate cleanly")
+    single = copy.deepcopy(baseline)
+    single["hardware_threads"] = 1
+    for entry in single["sweep_scaling"]:
+        entry["effective_threads"] = 1
+        entry["oversubscribed"] = entry["threads"] > 1
+        entry["speedup"] = 0.9 if entry["threads"] > 1 else 1.0
+    if compare(baseline, single, 0.25, 0.05) != 0:
+        fail("selftest: hw=1 run did not skip the scaling gate")
+        return 1
+
     print("--- selftest: telemetry overhead blowout must fail")
     heavy = copy.deepcopy(baseline)
     heavy["telemetry"]["overhead_frac"] = 0.2
@@ -212,6 +314,13 @@ def main() -> int:
         default=0.05,
         help="max telemetry.overhead_frac in the current run (default 0.05)",
     )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.8,
+        help="minimum sweep speedup at >= 2 effective workers on a multi-core "
+        "box (default 0.8; the gate skips when hardware_threads < 2)",
+    )
     ap.add_argument("--selftest", action="store_true", help="run the gate self-check")
     args = ap.parse_args()
 
@@ -219,7 +328,8 @@ def main() -> int:
         return selftest()
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or use --selftest)")
-    return compare(load(args.baseline), load(args.current), args.tolerance, args.telemetry_budget)
+    return compare(load(args.baseline), load(args.current), args.tolerance,
+                   args.telemetry_budget, args.min_speedup)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
 
 #include "net/node.h"
 
@@ -59,12 +61,46 @@ void DomainRunner::run_until(SimTime t_end) {
   const std::size_t domains = topo_.domain_count();
   if (domains <= 1) {
     // Single domain: no boundaries, no barriers — plain sequential DES.
-    topo_.sim().run_until(t_end);
+    try {
+      topo_.sim().run_until(t_end);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("DomainRunner: domain 0 failed: ") + e.what());
+    }
     ++windows_;
     return;
   }
   SimTime now = topo_.domain_sim(0).now();
+  errors_.assign(domains, std::string());
+
+  // Stall watchdog budget. Each completed window ends past the previous
+  // earliest pending event, which itself is past the previous window's end —
+  // so every window advances by MORE than the lookahead, bounding a healthy
+  // run at (t_end - now) / lookahead + 2 windows. 4x slack plus a constant
+  // keeps the budget unreachable for any correct run while still finite for
+  // a wedged one.
+  std::uint64_t budget = max_windows_override_;
+  if (budget == 0 && lookahead_ > 0 && lookahead_ != kTimeNever && now < t_end) {
+    const std::uint64_t bound =
+        static_cast<std::uint64_t>((t_end - now) / lookahead_) + 2;
+    budget = bound * 4 + 16;
+  }
+  std::uint64_t windows_this_run = 0;
+
   while (now < t_end) {
+    if (budget != 0 && windows_this_run >= budget) {
+      std::ostringstream msg;
+      msg << "DomainRunner: stall watchdog tripped after " << windows_this_run
+          << " windows (budget " << budget << ", lookahead " << lookahead_
+          << "ns, target " << t_end << "ns); domain state:";
+      for (std::size_t d = 0; d < domains; ++d) {
+        Scheduler& sched = topo_.domain_sim(static_cast<int>(d)).scheduler();
+        msg << " [domain " << d << ": now=" << sched.now()
+            << " next=" << sched.peek_next_time() << " pending=" << sched.pending()
+            << "]";
+      }
+      throw std::runtime_error(msg.str());
+    }
+    ++windows_this_run;
     // Window sizing: every event executed this window has time >= the
     // earliest pending event across all domains, so every handoff it can
     // produce arrives >= earliest + lookahead. Capping the window there
@@ -83,9 +119,30 @@ void DomainRunner::run_until(SimTime t_end) {
       end = std::min(t_end, horizon);
     }
     pool_.run_indexed(domains, [this, end](std::size_t d) {
-      topo_.domain_sim(static_cast<int>(d)).run_until(end);
+      // The pool's jobs-must-not-throw contract: capture here, rethrow with
+      // domain context after the join. An escaped exception would
+      // std::terminate the worker.
+      try {
+        topo_.domain_sim(static_cast<int>(d)).run_until(end);
+      } catch (const std::exception& e) {
+        errors_[d] = e.what();
+      } catch (...) {
+        errors_[d] = "non-standard exception";
+      }
     });
     ++windows_;
+    for (std::size_t d = 0; d < domains; ++d) {
+      if (errors_[d].empty()) continue;
+      std::ostringstream msg;
+      msg << "DomainRunner: domain " << d << " failed in window " << windows_this_run
+          << " (t=" << now << ".." << end << "ns): " << errors_[d];
+      for (std::size_t o = d + 1; o < domains; ++o) {
+        if (!errors_[o].empty()) {
+          msg << "; domain " << o << ": " << errors_[o];
+        }
+      }
+      throw std::runtime_error(msg.str());
+    }
 
     // Barrier: inject cross-domain arrivals, iterating boundary links in
     // creation order and each mailbox FIFO. This order — not completion or

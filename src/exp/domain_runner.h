@@ -62,10 +62,31 @@ class DomainRunner {
   /// Advances every domain to `t_end` in lookahead windows. Callable
   /// repeatedly with increasing targets (scenario warm-up, then measurement
   /// phases). With one domain this degenerates to a plain run_until.
+  ///
+  /// Error contract: an exception thrown by a domain's event stream is
+  /// captured on the worker and rethrown here as std::runtime_error naming
+  /// the failing domain index, the window, and the original what() — never a
+  /// bare worker error with no context (and never std::terminate, which is
+  /// what an uncaught throw inside the pool's noexcept job contract would
+  /// mean). When several domains fail in one window every failure is listed.
+  ///
+  /// Stall watchdog: conservative windows provably advance by more than the
+  /// lookahead each round, so one run_until(t_end) call can take at most
+  /// (t_end - start) / lookahead + 2 windows. A run exceeding that bound
+  /// (with generous slack) has stopped making progress — a lookahead or
+  /// barrier bug — and throws a diagnostic listing every domain's clock and
+  /// earliest pending event instead of spinning forever.
   void run_until(SimTime t_end);
 
   SimTime lookahead() const { return lookahead_; }
   Stats stats() const;
+
+  /// Overrides the stall watchdog's window budget for one run_until call
+  /// (0 restores the computed bound). Tests use a tiny budget to exercise
+  /// the diagnostic without building a genuinely wedged topology.
+  void set_max_windows_for_test(std::uint64_t max_windows) {
+    max_windows_override_ = max_windows;
+  }
 
  private:
   struct Handoff {
@@ -80,8 +101,13 @@ class DomainRunner {
   // worker during a window, drained only by the coordinator at the barrier
   // (the pool join orders the two). No locks needed.
   std::vector<std::vector<Handoff>> mail_;
+  // Per-domain error capture: written only by the owning domain's worker
+  // during a window (same single-writer discipline as the mailboxes),
+  // inspected by the coordinator after the join.
+  std::vector<std::string> errors_;
   std::uint64_t windows_ = 0;
   std::uint64_t handoffs_ = 0;
+  std::uint64_t max_windows_override_ = 0;
 };
 
 }  // namespace pels

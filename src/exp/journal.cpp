@@ -1,0 +1,86 @@
+#include "exp/journal.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.h"
+
+namespace pels {
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  load();
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("SweepJournal: cannot open '" + path_ + "' for append");
+  }
+}
+
+void SweepJournal::load() {
+  std::ifstream in(path_);
+  if (!in) return;  // no journal yet: fresh sweep
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const JsonValue doc = JsonValue::parse(line);
+      Entry e;
+      e.label = doc.at("label").as_string();
+      for (const JsonValue& row : doc.at("rows").items()) {
+        std::vector<std::string> cells;
+        cells.reserve(row.items().size());
+        for (const JsonValue& cell : row.items()) cells.push_back(cell.as_string());
+        e.output.rows.push_back(std::move(cells));
+      }
+      e.output.text = doc.at("text").as_string();
+      const auto index = static_cast<std::size_t>(doc.at("index").as_int64());
+      entries_[index] = std::move(e);
+      ++loaded_;
+    } catch (const std::invalid_argument&) {
+      // Torn write: the crash happened mid-line. Append-only means nothing
+      // after it can be trusted either — stop here; the lost tasks re-run.
+      torn_ = true;
+      break;
+    }
+  }
+}
+
+const SweepOutput* SweepJournal::get(std::size_t index) const {
+  const auto it = entries_.find(index);
+  return it == entries_.end() ? nullptr : &it->second.output;
+}
+
+const std::string* SweepJournal::label(std::size_t index) const {
+  const auto it = entries_.find(index);
+  return it == entries_.end() ? nullptr : &it->second.label;
+}
+
+void SweepJournal::record(std::size_t index, const std::string& label,
+                          const SweepOutput& out) {
+  // Serialize outside the lock; only the append and the map update are
+  // critical. One line per entry, flushed: the crash window is the line
+  // being written, never a finished one.
+  std::ostringstream line;
+  line << "{\"index\":" << index << ",\"label\":";
+  write_json_string(line, label);
+  line << ",\"rows\":[";
+  for (std::size_t r = 0; r < out.rows.size(); ++r) {
+    if (r > 0) line << ',';
+    line << '[';
+    for (std::size_t c = 0; c < out.rows[r].size(); ++c) {
+      if (c > 0) line << ',';
+      write_json_string(line, out.rows[r][c]);
+    }
+    line << ']';
+  }
+  line << "],\"text\":";
+  write_json_string(line, out.text);
+  line << "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line.str();
+  out_.flush();
+  entries_[index] = Entry{label, out};
+}
+
+}  // namespace pels

@@ -1,0 +1,78 @@
+// Crash-safe sweep journal: append-only record of completed sweep tasks.
+//
+// A long sweep (hundreds of seeded scenarios) that dies at task 180 of 200 —
+// OOM-killed, ^C'd, machine rebooted — should not cost the 180 finished
+// results. SweepJournal persists each task's buffered output (table rows +
+// text) as one JSON line, appended and flushed the moment the task
+// completes on its worker. A re-run of the same sweep against the same
+// journal path skips every journaled index and re-executes only the missing
+// ones; run_sweep_to_table then commits rows in submission order regardless
+// of where each row came from, so the resumed table is byte-identical to an
+// uninterrupted run (tested in journal_test).
+//
+// Durability model: one line per task, flushed on write. A crash can tear at
+// most the line being written; load() parses complete lines and stops at the
+// first malformed one (everything after a torn write is suspect in an
+// append-only file), so a torn tail costs exactly the in-flight task.
+// Entries carry the task's label; resuming a sweep whose labels disagree
+// with the journal throws instead of silently stitching two different
+// experiments together.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace pels {
+
+class SweepJournal {
+ public:
+  /// Opens (creating if needed) the journal at `path` and loads every
+  /// complete entry. Throws std::runtime_error when the file exists but
+  /// cannot be opened for append.
+  explicit SweepJournal(std::string path);
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Entries successfully loaded from a pre-existing file.
+  std::size_t loaded() const { return loaded_; }
+  /// True when loading stopped at a malformed (torn) line.
+  bool tail_torn() const { return torn_; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool has(std::size_t index) const { return entries_.count(index) != 0; }
+  /// Journaled outcome of task `index`, or nullptr when absent.
+  const SweepOutput* get(std::size_t index) const;
+  /// Journaled label of task `index`, or nullptr when absent.
+  const std::string* label(std::size_t index) const;
+
+  /// Appends one completed task and flushes. Thread-safe: workers record
+  /// from inside the pool, so a crash between tasks loses nothing already
+  /// finished. Re-recording an index overwrites the in-memory entry and
+  /// appends a fresh line (last line wins on reload).
+  void record(std::size_t index, const std::string& label, const SweepOutput& out);
+
+ private:
+  struct Entry {
+    std::string label;
+    SweepOutput output;
+  };
+
+  void load();
+
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+  std::map<std::size_t, Entry> entries_;
+  std::size_t loaded_ = 0;
+  bool torn_ = false;
+};
+
+}  // namespace pels

@@ -190,6 +190,46 @@ class SweepRunner {
   std::vector<std::thread> workers_;
 };
 
+class SweepJournal;
+
+/// One failed sweep task with its submission index and (when the sweep was
+/// labeled) the scenario parameters that identify the failing row.
+struct SweepTaskError {
+  std::size_t index = 0;
+  std::string label;  // empty when the sweep ran unlabeled
+  std::string message;
+};
+
+/// Knobs for run_sweep_to_table. Default-constructed options reproduce the
+/// classic run_to_table contract: no journal, no labels, throw on failure.
+struct SweepOptions {
+  /// Per-task labels (scenario parameters, "seed=17"); size 0 or
+  /// tasks.size(). Labels appear in error messages and journal entries.
+  std::vector<std::string> labels;
+  /// Crash-safe resume: journaled indices are not re-executed, fresh
+  /// completions are appended+flushed from the worker the moment they
+  /// finish. Labels (when present) must match the journal's, or the sweep
+  /// throws rather than stitch two different experiments together.
+  SweepJournal* journal = nullptr;
+  /// On task failure: commit the successful rows and return the errors in
+  /// the report instead of throwing — degraded batch beats lost batch.
+  bool report_and_continue = false;
+  /// Re-run each failed task once on the calling thread before declaring it
+  /// failed: isolates "parallel infrastructure broke it" from "the task is
+  /// broken", and rescues tasks that only fail under pool contention.
+  bool retry_failed_serially = false;
+};
+
+/// What a sweep did: merged text output, per-task failures (empty unless
+/// report_and_continue), and reuse/execution counts for resume diagnostics.
+struct SweepReport {
+  std::string text;
+  std::vector<SweepTaskError> errors;
+  std::size_t reused = 0;    // satisfied from the journal, not re-run
+  std::size_t executed = 0;  // actually dispatched to the pool
+  bool ok() const { return errors.empty(); }
+};
+
 /// Runs one buffered-output task per parameter point and merges the results
 /// in submission order: every task's rows are appended to `table`, and the
 /// concatenation of the non-empty `text` fields (also in order) is returned
@@ -200,5 +240,16 @@ class SweepRunner {
 std::string run_to_table(SweepRunner& runner,
                          std::vector<std::function<SweepOutput()>> tasks,
                          TablePrinter& table);
+
+/// The full-featured staged-commit sweep: resume from a journal, label every
+/// task, survive failures. Rows commit to `table` in submission order
+/// regardless of whether they came from the journal or a fresh execution, so
+/// an interrupted-and-resumed sweep produces a byte-identical table to an
+/// uninterrupted one. Unless report_and_continue is set, any task failure
+/// (after the optional serial retry) throws std::runtime_error naming every
+/// failed task's index, label, and error, with `table` left untouched.
+SweepReport run_sweep_to_table(SweepRunner& runner,
+                               std::vector<std::function<SweepOutput()>> tasks,
+                               TablePrinter& table, const SweepOptions& options = {});
 
 }  // namespace pels

@@ -1,0 +1,396 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pels {
+
+void ChaosLimits::validate() const {
+  if (min_start < 0 || horizon <= min_start) {
+    throw std::invalid_argument("ChaosLimits: need 0 <= min_start < horizon");
+  }
+  if (min_window < 1 || max_window < min_window) {
+    throw std::invalid_argument("ChaosLimits: need 1 <= min_window <= max_window");
+  }
+  if (horizon - min_start <= min_window) {
+    throw std::invalid_argument("ChaosLimits: horizon too small for one min_window");
+  }
+  if (max_flaps < 0 || max_brownouts < 0 || max_restarts < 0 || max_blackouts < 0) {
+    throw std::invalid_argument("ChaosLimits: fault budgets must be >= 0");
+  }
+  if (max_flaps == 0 && max_brownouts == 0 && max_restarts == 0 && max_blackouts == 0 &&
+      ge_probability == 0.0) {
+    throw std::invalid_argument("ChaosLimits: empty fault budget (no fault type enabled)");
+  }
+  if (!(min_brownout_factor > 0.0 && min_brownout_factor < 1.0)) {
+    throw std::invalid_argument("ChaosLimits: min_brownout_factor must be in (0, 1)");
+  }
+  if (ge_probability < 0.0 || ge_probability > 1.0) {
+    throw std::invalid_argument("ChaosLimits: ge_probability must be in [0, 1]");
+  }
+  if (!(max_ge_loss_bad > 0.0 && max_ge_loss_bad <= 1.0) ||
+      !(max_ge_p_good_to_bad > 0.0 && max_ge_p_good_to_bad <= 1.0)) {
+    throw std::invalid_argument("ChaosLimits: GE ceilings must be in (0, 1]");
+  }
+}
+
+ChaosPlanGenerator::ChaosPlanGenerator(ChaosLimits limits, Rng rng)
+    : limits_(limits), rng_(rng) {
+  limits_.validate();
+}
+
+std::vector<FaultPlan::Window> ChaosPlanGenerator::sample_windows(int max_count) {
+  std::vector<FaultPlan::Window> out;
+  if (max_count <= 0) return out;
+  const SimTime span = limits_.horizon - limits_.min_start;
+  SimTime k = rng_.uniform_int(0, max_count);
+  // Same-kind windows must be disjoint (FaultPlan::validate enforces it), so
+  // sample one window per equal slot of the activity span: disjoint by
+  // construction, no rejection loop, fixed draw count per window. Cap k so
+  // every slot still fits a min_window plus one slack nanosecond.
+  k = std::min(k, span / (limits_.min_window + 1));
+  for (SimTime i = 0; i < k; ++i) {
+    const SimTime slot_begin = limits_.min_start + span * i / k;
+    const SimTime slot_end = limits_.min_start + span * (i + 1) / k;
+    const SimTime len_hi = std::min(limits_.max_window, slot_end - slot_begin - 1);
+    const SimTime len = rng_.uniform_int(limits_.min_window, len_hi);
+    const SimTime at = rng_.uniform_int(slot_begin, slot_end - len);
+    out.push_back(FaultPlan::Window{at, at + len});
+  }
+  return out;
+}
+
+FaultPlan ChaosPlanGenerator::next() {
+  FaultPlan plan;
+  // Fixed draw order — flaps, brown-outs, restarts, blackouts, GE — so plan
+  // k of a (limits, seed) pair is a pure function of k.
+  for (const FaultPlan::Window& w : sample_windows(limits_.max_flaps)) {
+    plan.link_flaps.push_back(FaultPlan::LinkFlap{w.at, w.until});
+  }
+  for (const FaultPlan::Window& w : sample_windows(limits_.max_brownouts)) {
+    FaultPlan::Brownout b;
+    b.at = w.at;
+    b.until = w.until;
+    b.factor = rng_.uniform(limits_.min_brownout_factor, 1.0);
+    plan.brownouts.push_back(b);
+  }
+  const SimTime restarts = rng_.uniform_int(0, limits_.max_restarts);
+  for (SimTime i = 0; i < restarts; ++i) {
+    plan.router_restarts.push_back(
+        FaultPlan::RouterRestart{rng_.uniform_int(limits_.min_start, limits_.horizon - 1)});
+  }
+  std::sort(plan.router_restarts.begin(), plan.router_restarts.end(),
+            [](const FaultPlan::RouterRestart& a, const FaultPlan::RouterRestart& b) {
+              return a.at < b.at;
+            });
+  plan.ack_blackouts = sample_windows(limits_.max_blackouts);
+  if (rng_.bernoulli(limits_.ge_probability)) {
+    GilbertElliottConfig ge;
+    ge.p_good_to_bad = rng_.uniform(0.001, limits_.max_ge_p_good_to_bad);
+    ge.p_bad_to_good = rng_.uniform(0.05, 0.5);
+    ge.loss_good = 0.0;
+    ge.loss_bad = rng_.uniform(0.1, limits_.max_ge_loss_bad);
+    plan.burst_corruption = ge;
+  }
+  plan.validate();
+  ++generated_;
+  return plan;
+}
+
+std::size_t fault_plan_event_count(const FaultPlan& plan) {
+  return plan.link_flaps.size() + plan.brownouts.size() + plan.router_restarts.size() +
+         plan.ack_blackouts.size() + (plan.burst_corruption ? 1 : 0);
+}
+
+namespace {
+
+/// Applies one mutation candidate: keep it iff it is still a valid plan and
+/// the violation still reproduces.
+bool keep_mutation(const FaultPlan& candidate, const ShrinkPredicate& still_violates,
+                   ShrinkStats& st, std::size_t max_probes) {
+  if (st.probes >= max_probes) return false;
+  ++st.probes;
+  try {
+    candidate.validate();
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (!still_violates(candidate)) return false;
+  ++st.accepted;
+  return true;
+}
+
+/// Tries erasing plan.<field>[i] for every i; compacts the vector greedily.
+template <typename T>
+bool shrink_erase(FaultPlan& plan, std::vector<T> FaultPlan::*field,
+                  const ShrinkPredicate& pred, ShrinkStats& st, std::size_t max_probes) {
+  bool changed = false;
+  std::size_t i = 0;
+  while (i < (plan.*field).size() && st.probes < max_probes) {
+    FaultPlan candidate = plan;
+    (candidate.*field).erase((candidate.*field).begin() + static_cast<std::ptrdiff_t>(i));
+    if (keep_mutation(candidate, pred, st, max_probes)) {
+      plan = std::move(candidate);
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+FaultPlan shrink_fault_plan(FaultPlan plan, const ShrinkPredicate& still_violates,
+                            ShrinkStats* stats, std::size_t max_probes) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = ShrinkStats{};
+
+  bool changed = true;
+  while (changed && st.probes < max_probes) {
+    changed = false;
+    ++st.rounds;
+
+    // Pass 1 — drop whole events. Smallest repros come from fewer events
+    // first, so removal runs before any window/severity tuning.
+    changed |= shrink_erase(plan, &FaultPlan::link_flaps, still_violates, st, max_probes);
+    changed |= shrink_erase(plan, &FaultPlan::brownouts, still_violates, st, max_probes);
+    changed |=
+        shrink_erase(plan, &FaultPlan::router_restarts, still_violates, st, max_probes);
+    changed |=
+        shrink_erase(plan, &FaultPlan::ack_blackouts, still_violates, st, max_probes);
+    if (plan.burst_corruption && st.probes < max_probes) {
+      FaultPlan candidate = plan;
+      candidate.burst_corruption.reset();
+      if (keep_mutation(candidate, still_violates, st, max_probes)) {
+        plan = std::move(candidate);
+        changed = true;
+      }
+    }
+
+    // Pass 2 — halve window durations (geometric, so each window costs at
+    // most ~2log(len) probes over the whole shrink).
+    for (std::size_t i = 0; i < plan.link_flaps.size() && st.probes < max_probes; ++i) {
+      const SimTime dur = plan.link_flaps[i].up_at - plan.link_flaps[i].down_at;
+      if (dur < 2) continue;
+      FaultPlan candidate = plan;
+      candidate.link_flaps[i].up_at = candidate.link_flaps[i].down_at + dur / 2;
+      if (keep_mutation(candidate, still_violates, st, max_probes)) {
+        plan = std::move(candidate);
+        changed = true;
+      }
+    }
+    for (std::size_t i = 0; i < plan.brownouts.size() && st.probes < max_probes; ++i) {
+      const SimTime dur = plan.brownouts[i].until - plan.brownouts[i].at;
+      if (dur < 2) continue;
+      FaultPlan candidate = plan;
+      candidate.brownouts[i].until = candidate.brownouts[i].at + dur / 2;
+      if (keep_mutation(candidate, still_violates, st, max_probes)) {
+        plan = std::move(candidate);
+        changed = true;
+      }
+    }
+    for (std::size_t i = 0; i < plan.ack_blackouts.size() && st.probes < max_probes; ++i) {
+      const SimTime dur = plan.ack_blackouts[i].until - plan.ack_blackouts[i].at;
+      if (dur < 2) continue;
+      FaultPlan candidate = plan;
+      candidate.ack_blackouts[i].until = candidate.ack_blackouts[i].at + dur / 2;
+      if (keep_mutation(candidate, still_violates, st, max_probes)) {
+        plan = std::move(candidate);
+        changed = true;
+      }
+    }
+
+    // Pass 3 — soften severities: brown-out factor halfway toward 1 (no
+    // degradation), GE corruption and burst-entry probabilities halved.
+    // Minimum meaningful steps bound the passes (the probe cap is the
+    // backstop, not the terminator).
+    for (std::size_t i = 0; i < plan.brownouts.size() && st.probes < max_probes; ++i) {
+      const double f = plan.brownouts[i].factor;
+      if (1.0 - f < 0.05) continue;
+      FaultPlan candidate = plan;
+      candidate.brownouts[i].factor = f + (1.0 - f) / 2.0;
+      if (keep_mutation(candidate, still_violates, st, max_probes)) {
+        plan = std::move(candidate);
+        changed = true;
+      }
+    }
+    if (plan.burst_corruption && st.probes < max_probes) {
+      if (plan.burst_corruption->loss_bad >= 0.02) {
+        FaultPlan candidate = plan;
+        candidate.burst_corruption->loss_bad /= 2.0;
+        if (keep_mutation(candidate, still_violates, st, max_probes)) {
+          plan = std::move(candidate);
+          changed = true;
+        }
+      }
+      if (plan.burst_corruption && plan.burst_corruption->p_good_to_bad >= 0.0005 &&
+          st.probes < max_probes) {
+        FaultPlan candidate = plan;
+        candidate.burst_corruption->p_good_to_bad /= 2.0;
+        if (keep_mutation(candidate, still_violates, st, max_probes)) {
+          plan = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+struct WindowTally {
+  int past = 0;
+  int active = 0;
+  int ahead = 0;
+};
+
+WindowTally tally(SimTime at, SimTime until, SimTime now, WindowTally t) {
+  if (until <= now) {
+    ++t.past;
+  } else if (at <= now) {
+    ++t.active;
+  } else {
+    ++t.ahead;
+  }
+  return t;
+}
+
+void append_tally(std::ostringstream& os, const char* name, const WindowTally& t) {
+  os << name << "[past=" << t.past << ",active=" << t.active << ",ahead=" << t.ahead
+     << "] ";
+}
+
+}  // namespace
+
+std::string describe_fault_position(const FaultPlan& plan, SimTime now) {
+  WindowTally flaps, brownouts, blackouts, restarts;
+  for (const FaultPlan::LinkFlap& f : plan.link_flaps) {
+    flaps = tally(f.down_at, f.up_at, now, flaps);
+  }
+  for (const FaultPlan::Brownout& b : plan.brownouts) {
+    brownouts = tally(b.at, b.until, now, brownouts);
+  }
+  for (const FaultPlan::Window& w : plan.ack_blackouts) {
+    blackouts = tally(w.at, w.until, now, blackouts);
+  }
+  for (const FaultPlan::RouterRestart& r : plan.router_restarts) {
+    restarts = tally(r.at, r.at + 1, now, restarts);
+  }
+  std::ostringstream os;
+  append_tally(os, "flap", flaps);
+  append_tally(os, "brownout", brownouts);
+  append_tally(os, "restart", restarts);
+  append_tally(os, "blackout", blackouts);
+  os << "ge=" << (plan.burst_corruption ? "on" : "off");
+  return os.str();
+}
+
+namespace {
+
+JsonValue plan_to_value(const FaultPlan& plan) {
+  std::vector<JsonValue> flaps;
+  for (const FaultPlan::LinkFlap& f : plan.link_flaps) {
+    flaps.push_back(JsonValue::object({{"down_at", JsonValue(f.down_at)},
+                                       {"up_at", JsonValue(f.up_at)}}));
+  }
+  std::vector<JsonValue> brownouts;
+  for (const FaultPlan::Brownout& b : plan.brownouts) {
+    brownouts.push_back(JsonValue::object({{"at", JsonValue(b.at)},
+                                           {"until", JsonValue(b.until)},
+                                           {"factor", JsonValue(b.factor)}}));
+  }
+  std::vector<JsonValue> restarts;
+  for (const FaultPlan::RouterRestart& r : plan.router_restarts) {
+    restarts.push_back(JsonValue::object({{"at", JsonValue(r.at)}}));
+  }
+  std::vector<JsonValue> blackouts;
+  for (const FaultPlan::Window& w : plan.ack_blackouts) {
+    blackouts.push_back(
+        JsonValue::object({{"at", JsonValue(w.at)}, {"until", JsonValue(w.until)}}));
+  }
+  JsonValue ge;  // null when absent
+  if (plan.burst_corruption) {
+    const GilbertElliottConfig& g = *plan.burst_corruption;
+    ge = JsonValue::object({{"p_good_to_bad", JsonValue(g.p_good_to_bad)},
+                            {"p_bad_to_good", JsonValue(g.p_bad_to_good)},
+                            {"loss_good", JsonValue(g.loss_good)},
+                            {"loss_bad", JsonValue(g.loss_bad)}});
+  }
+  return JsonValue::object({{"link_flaps", JsonValue::array(std::move(flaps))},
+                            {"brownouts", JsonValue::array(std::move(brownouts))},
+                            {"router_restarts", JsonValue::array(std::move(restarts))},
+                            {"ack_blackouts", JsonValue::array(std::move(blackouts))},
+                            {"burst_corruption", std::move(ge)}});
+}
+
+}  // namespace
+
+void write_fault_plan_json(std::ostream& os, const FaultPlan& plan) {
+  plan_to_value(plan).write(os);
+}
+
+std::string fault_plan_to_json(const FaultPlan& plan) {
+  return plan_to_value(plan).dump();
+}
+
+FaultPlan fault_plan_from_json(const JsonValue& doc) {
+  FaultPlan plan;
+  for (const JsonValue& v : doc.at("link_flaps").items()) {
+    plan.link_flaps.push_back(
+        FaultPlan::LinkFlap{v.at("down_at").as_int64(), v.at("up_at").as_int64()});
+  }
+  for (const JsonValue& v : doc.at("brownouts").items()) {
+    FaultPlan::Brownout b;
+    b.at = v.at("at").as_int64();
+    b.until = v.at("until").as_int64();
+    b.factor = v.at("factor").as_double();
+    plan.brownouts.push_back(b);
+  }
+  for (const JsonValue& v : doc.at("router_restarts").items()) {
+    plan.router_restarts.push_back(FaultPlan::RouterRestart{v.at("at").as_int64()});
+  }
+  for (const JsonValue& v : doc.at("ack_blackouts").items()) {
+    plan.ack_blackouts.push_back(
+        FaultPlan::Window{v.at("at").as_int64(), v.at("until").as_int64()});
+  }
+  const JsonValue& ge = doc.at("burst_corruption");
+  if (!ge.is_null()) {
+    GilbertElliottConfig g;
+    g.p_good_to_bad = ge.at("p_good_to_bad").as_double();
+    g.p_bad_to_good = ge.at("p_bad_to_good").as_double();
+    g.loss_good = ge.at("loss_good").as_double();
+    g.loss_bad = ge.at("loss_bad").as_double();
+    plan.burst_corruption = g;
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan fault_plan_from_json(const std::string& text) {
+  return fault_plan_from_json(JsonValue::parse(text));
+}
+
+void write_chaos_repro_json(std::ostream& os, std::uint64_t seed,
+                            const InvariantViolation& violation, const FaultPlan& plan,
+                            const ShrinkStats& shrink, std::size_t original_events) {
+  os << "{\"schema_version\":1,\"kind\":\"chaos-repro\",\"seed\":" << seed
+     << ",\"invariant\":";
+  write_json_string(os, violation.invariant);
+  os << ",\"at_ns\":" << violation.at << ",\"tick\":" << violation.tick << ",\"detail\":";
+  write_json_string(os, violation.detail);
+  os << ",\"context\":";
+  write_json_string(os, violation.context);
+  os << ",\"shrink\":{\"probes\":" << shrink.probes << ",\"accepted\":" << shrink.accepted
+     << ",\"rounds\":" << shrink.rounds << ",\"original_events\":" << original_events
+     << ",\"shrunk_events\":" << fault_plan_event_count(plan) << "},\"fault_plan\":";
+  write_fault_plan_json(os, plan);
+  os << "}\n";
+}
+
+}  // namespace pels

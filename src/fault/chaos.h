@@ -1,0 +1,126 @@
+// Chaos harness: randomized fault-schedule fuzzing with automatic shrinking.
+//
+// Hand-written fault scenarios cover the failure modes someone thought of;
+// the chaos harness covers the rest. A ChaosPlanGenerator samples
+// bounded-severity FaultPlans — link-flap / brown-out / ACK-blackout /
+// router-restart / Gilbert–Elliott mixes — from a seeded Rng, so a campaign
+// of N schedules is fully described by (limits, seed) and any schedule
+// replays bit-for-bit. Plans are valid by construction: windows of the same
+// kind never overlap (FaultPlan::validate now rejects overlapping flaps and
+// brown-outs — the first flap's up-edge would fire inside the second's down
+// window) and every knob respects the severity bounds in ChaosLimits.
+//
+// When a schedule trips an invariant (sim/invariants.h), shrink_fault_plan
+// delta-debugs it: greedily drop single events, shorten windows, and halve
+// severities, keeping each mutation only if the violation still reproduces,
+// until a full round makes no progress. The result plus the violation record
+// is serialized as a replayable JSON repro artifact (read back with
+// fault_plan_from_json for a one-command replay; CI uploads these).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "sim/invariants.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace pels {
+
+/// Severity envelope for generated plans. Every sampled schedule fits the
+/// scenario horizon and keeps each fault type within plausible bounds — the
+/// campaign looks for invariant violations, not for "everything is down
+/// forever" trivialities.
+struct ChaosLimits {
+  /// All fault activity happens in [min_start, horizon).
+  SimTime horizon = from_seconds(30);
+  SimTime min_start = from_millis(500);
+
+  int max_flaps = 2;       // forward-link hard-down windows
+  int max_brownouts = 2;   // forward-link rate degradations
+  int max_restarts = 1;    // PELS queue control-plane restarts
+  int max_blackouts = 2;   // reverse (ACK) path outage windows
+
+  /// Window length bounds for flaps/brown-outs/blackouts.
+  SimTime min_window = from_millis(20);
+  SimTime max_window = from_seconds(2);
+
+  double min_brownout_factor = 0.25;  // worst sampled rate degradation
+  double ge_probability = 0.25;       // chance a plan carries GE corruption
+  double max_ge_loss_bad = 0.6;       // bad-state corruption ceiling
+  double max_ge_p_good_to_bad = 0.02; // burst-entry rate ceiling
+
+  /// Throws std::invalid_argument on nonsense (horizon too small for a
+  /// window, probabilities outside [0,1], empty fault budget).
+  void validate() const;
+};
+
+/// Seeded FaultPlan sampler. Draws consume the Rng sequentially in a fixed
+/// order, so plan k of a given (limits, rng) pair is always the same plan:
+/// the campaign driver records only (seed, index) per schedule and can
+/// regenerate any of them on demand.
+class ChaosPlanGenerator {
+ public:
+  ChaosPlanGenerator(ChaosLimits limits, Rng rng);
+
+  /// Samples the next plan. Always returns a validated plan (same-kind
+  /// windows disjoint by construction).
+  FaultPlan next();
+
+  std::uint64_t generated() const { return generated_; }
+  const ChaosLimits& limits() const { return limits_; }
+
+ private:
+  std::vector<FaultPlan::Window> sample_windows(int max_count);
+
+  ChaosLimits limits_;
+  Rng rng_;
+  std::uint64_t generated_ = 0;
+};
+
+/// Returns true when the (possibly mutated) plan still triggers the failure
+/// being minimized. Must be deterministic: same plan, same verdict.
+using ShrinkPredicate = std::function<bool(const FaultPlan&)>;
+
+struct ShrinkStats {
+  std::size_t probes = 0;    // predicate evaluations
+  std::size_t accepted = 0;  // mutations that kept the violation
+  std::size_t rounds = 0;    // full passes over the mutation set
+};
+
+/// Total number of schedulable entries in the plan (GE counts as one).
+std::size_t fault_plan_event_count(const FaultPlan& plan);
+
+/// Delta-debugging shrinker. Starting from a violating `plan`, repeatedly
+/// tries, in a fixed order: removing one event, halving one window's
+/// duration, softening one severity (brown-out factor toward 1, GE loss and
+/// burst-entry probability halved). A mutation is kept iff `still_violates`
+/// returns true on the mutant; rounds repeat until none is kept (fixpoint)
+/// or `max_probes` predicate calls were spent. Returns the minimized plan —
+/// guaranteed to still satisfy the predicate and FaultPlan::validate().
+FaultPlan shrink_fault_plan(FaultPlan plan, const ShrinkPredicate& still_violates,
+                            ShrinkStats* stats = nullptr, std::size_t max_probes = 2000);
+
+/// Compact one-line description of where `now` sits relative to the plan:
+/// per fault type, how many windows are past / active / ahead. Installed as
+/// the InvariantMonitor context so every violation records its fault-plan
+/// position.
+std::string describe_fault_position(const FaultPlan& plan, SimTime now);
+
+/// FaultPlan <-> JSON. Times are raw integer nanoseconds (exact round-trip);
+/// the encoding is stable and covered by chaos_test.
+void write_fault_plan_json(std::ostream& os, const FaultPlan& plan);
+std::string fault_plan_to_json(const FaultPlan& plan);
+FaultPlan fault_plan_from_json(const JsonValue& doc);
+FaultPlan fault_plan_from_json(const std::string& text);
+
+/// Replayable repro artifact for one minimized violation: schema header,
+/// campaign coordinates (seed), the violation record, shrink statistics, and
+/// the minimized plan. Deterministic output (byte-identical across runs of
+/// the same failure).
+void write_chaos_repro_json(std::ostream& os, std::uint64_t seed,
+                            const InvariantViolation& violation, const FaultPlan& plan,
+                            const ShrinkStats& shrink, std::size_t original_events);
+
+}  // namespace pels

@@ -1,8 +1,10 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "net/link.h"
 #include "queue/pels_queue.h"
@@ -18,16 +20,40 @@ void check_window(SimTime at, SimTime until, const char* what) {
   }
 }
 
+/// Same-kind windows acting on one resource must be disjoint (touching is
+/// fine). Overlapping flaps are semantically broken — the first flap's
+/// up-edge fires inside the second's down window and silently revives the
+/// link; overlapping brown-outs restore the degraded (not the original)
+/// rate. The chaos generator produces disjoint windows by construction;
+/// hand-written plans get the same guarantee checked here.
+void check_disjoint(std::vector<std::pair<SimTime, SimTime>> spans, const char* what) {
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first < spans[i - 1].second) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " windows overlap (same link/resource)");
+    }
+  }
+}
+
 }  // namespace
 
 void FaultPlan::validate() const {
-  for (const LinkFlap& f : link_flaps) check_window(f.down_at, f.up_at, "link-flap");
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (const LinkFlap& f : link_flaps) {
+    check_window(f.down_at, f.up_at, "link-flap");
+    spans.emplace_back(f.down_at, f.up_at);
+  }
+  check_disjoint(std::move(spans), "link-flap");
+  spans.clear();
   for (const Brownout& b : brownouts) {
     check_window(b.at, b.until, "brown-out");
     if (!(b.factor > 0.0 && b.factor <= 1.0)) {
       throw std::invalid_argument("FaultPlan: brown-out factor must be in (0, 1]");
     }
+    spans.emplace_back(b.at, b.until);
   }
+  check_disjoint(std::move(spans), "brown-out");
   for (const RouterRestart& r : router_restarts) {
     if (r.at < 0) throw std::invalid_argument("FaultPlan: restart time must be >= 0");
   }

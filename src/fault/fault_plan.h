@@ -73,8 +73,10 @@ struct FaultPlan {
   }
 
   /// Throws std::invalid_argument on nonsense (windows with until <= at,
-  /// negative times, brown-out factors outside (0, 1], invalid GE
-  /// probabilities). Scenarios call this from their own validation.
+  /// negative times, overlapping same-kind windows on the shared resource —
+  /// two flaps or two brown-outs may touch but not overlap — brown-out
+  /// factors outside (0, 1], invalid GE probabilities). Scenarios call this
+  /// from their own validation.
   void validate() const;
 };
 

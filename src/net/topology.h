@@ -98,6 +98,10 @@ class Topology {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
   Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  /// Link by creation order (matching link_count()). The invariant monitor
+  /// iterates every link for packet-conservation checks.
+  Link& link(std::size_t i) { return *links_.at(i); }
+  const Link& link(std::size_t i) const { return *links_.at(i); }
   /// Domain 0's Simulation (the only one in single-domain topologies).
   Simulation& sim() { return sim_; }
 

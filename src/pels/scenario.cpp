@@ -1,8 +1,11 @@
 #include "pels/scenario.h"
 
 #include <cassert>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "fault/chaos.h"
 #include "queue/bernoulli.h"
 #include "queue/drop_tail.h"
 
@@ -42,6 +45,7 @@ void ScenarioConfig::validate() const {
   require(source.feedback_timeout >= 0, "source.feedback_timeout must be >= 0");
   require(sample_interval > 0, "sample_interval must be > 0");
   telemetry.validate();
+  invariants.validate();
   if (bottleneck == BottleneckKind::kPels) {
     // link_bandwidth_bps is overwritten with bottleneck_bps at construction;
     // validate the rest of the AQM config as it will actually run.
@@ -192,7 +196,114 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
                                              [this] { sample_losses(); });
   sampler_->start();
 
+  // Invariants before telemetry: the monitor's probes ("invariants.*") must
+  // exist by the time the sampler freezes the registry.
+  if (cfg_.invariants.enabled) setup_invariants();
   if (cfg_.telemetry.enabled) setup_telemetry();
+}
+
+void DumbbellScenario::setup_invariants() {
+  invariants_ = std::make_unique<InvariantMonitor>(sim_.scheduler(), cfg_.invariants);
+
+  // Violations are only actionable if they say *where in the fault schedule*
+  // the run was when the property broke.
+  invariants_->set_context(
+      [this] { return describe_fault_position(cfg_.faults, sim_.now()); });
+
+  // Packet conservation, per link: everything that ever arrived at the queue
+  // is accounted for as dropped, still queued, on the wire, delivered, or
+  // corrupted. Exact at every quiescent instant (see net/link.cpp — carrier
+  // losses stay in the in-flight ring until resolved as corrupted).
+  invariants_->add_check("net.packet_conservation", [this](std::string& detail) {
+    for (std::size_t i = 0; i < topo_.link_count(); ++i) {
+      const Link& link = topo_.link(i);
+      const QueueDisc& q = link.queue();
+      const std::uint64_t arrivals = q.counters().total_arrivals();
+      const std::uint64_t accounted =
+          q.counters().total_drops() + q.packet_count() + link.packets_in_flight() +
+          link.packets_delivered() + link.packets_corrupted();
+      if (arrivals != accounted) {
+        std::ostringstream os;
+        os << "link " << i << ": arrivals " << arrivals << " != drops "
+           << q.counters().total_drops() << " + queued " << q.packet_count()
+           << " + in_flight " << link.packets_in_flight() << " + delivered "
+           << link.packets_delivered() << " + corrupted " << link.packets_corrupted()
+           << " (= " << accounted << ")";
+        detail = os.str();
+        return false;
+      }
+    }
+    return true;
+  });
+
+  // Per-band occupancy bounds at the PELS bottleneck. With merge_fgs_bands
+  // the yellow band absorbs the red budget and the red band stays empty;
+  // red_limit still bounds band 2 in both modes.
+  if (pels_queue_ != nullptr) {
+    invariants_->add_check("bottleneck.band_bounds", [this](std::string& detail) {
+      const PelsQueueConfig& qc = pels_queue_->config();
+      const std::size_t yellow_cap =
+          qc.merge_fgs_bands ? qc.yellow_limit + qc.red_limit : qc.yellow_limit;
+      const std::size_t bands[3] = {pels_queue_->band_packet_count(0),
+                                    pels_queue_->band_packet_count(1),
+                                    pels_queue_->band_packet_count(2)};
+      const std::size_t caps[3] = {qc.green_limit, yellow_cap, qc.red_limit};
+      for (std::size_t b = 0; b < 3; ++b) {
+        if (bands[b] > caps[b]) {
+          std::ostringstream os;
+          os << "band " << b << " holds " << bands[b] << " packets, limit " << caps[b];
+          detail = os.str();
+          return false;
+        }
+      }
+      const std::size_t total = pels_queue_->packet_count();
+      const std::size_t cap =
+          qc.green_limit + qc.yellow_limit + qc.red_limit + qc.internet_limit;
+      if (total > cap) {
+        std::ostringstream os;
+        os << "total occupancy " << total << " packets exceeds configured capacity "
+           << cap;
+        detail = os.str();
+        return false;
+      }
+      return true;
+    });
+  }
+
+  // Controller state inside its mathematical domain: γ is a fraction of the
+  // FGS layer (eq. (4) keeps it in [0, 1]); MKC rates are non-negative and
+  // finite by Lemma 5's stability region.
+  invariants_->add_check("cc.gamma_bounds", [this](std::string& detail) {
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      const double g = sources_[i]->gamma();
+      const double r = sources_[i]->rate_bps();
+      if (!(g >= 0.0 && g <= 1.0)) {
+        std::ostringstream os;
+        os << "flow " << i << ": gamma " << g << " outside [0, 1]";
+        detail = os.str();
+        return false;
+      }
+      if (!(std::isfinite(r) && r >= 0.0)) {
+        std::ostringstream os;
+        os << "flow " << i << ": rate " << r << " bps not finite and non-negative";
+        detail = os.str();
+        return false;
+      }
+    }
+    return true;
+  });
+
+  // Liveness: the bottleneck must keep seeing arrivals. Opt-in because it is
+  // scenario-specific — late start_times or an all-blackout plan legitimately
+  // idle the bottleneck for many ticks.
+  if (cfg_.invariants.progress_stall_ticks > 0) {
+    invariants_->add_progress_check(
+        "bottleneck.arrival_progress",
+        [this] { return static_cast<double>(bottleneck_->counters().total_arrivals()); },
+        cfg_.invariants.progress_stall_ticks);
+  }
+
+  invariants_->start();
 }
 
 void DumbbellScenario::setup_telemetry() {
@@ -205,6 +316,15 @@ void DumbbellScenario::setup_telemetry() {
   for (std::size_t i = 0; i < sinks_.size(); ++i) {
     sinks_[i]->register_metrics(*metrics_, "sink" + std::to_string(i));
   }
+  if (invariants_ != nullptr) {
+    // Registered before the sampler exists — reserve_runtime freezes the
+    // probe set. Sampled series make violation counts greppable in exports.
+    InvariantMonitor* mon = invariants_.get();
+    metrics_->add_probe("invariants.violations",
+                        [mon] { return static_cast<double>(mon->violation_count()); });
+    metrics_->add_probe("invariants.ticks",
+                        [mon] { return static_cast<double>(mon->ticks()); });
+  }
   // Created (and started) after every agent above: sampler ticks that share a
   // timestamp with control ticks then execute after them (scheduler insertion
   // order), so each snapshot observes post-update state — the determinism
@@ -213,6 +333,16 @@ void DumbbellScenario::setup_telemetry() {
                                                    cfg_.telemetry.period);
   telemetry_->reserve_runtime(cfg_.telemetry.max_samples);
   telemetry_->start();
+
+  if (invariants_ != nullptr) {
+    // Telemetry timestamps must be monotone (ISSUE: sampler rides the same
+    // scheduler; a regression in tie-breaking would show up here first).
+    TimeSeriesSampler* sampler = telemetry_.get();
+    invariants_->add_monotone_check("telemetry.sample_times", [sampler] {
+      const std::size_t n = sampler->sample_count();
+      return n == 0 ? -1.0 : static_cast<double>(sampler->time_at(n - 1));
+    });
+  }
 }
 
 QueueDisc& DumbbellScenario::bottleneck_queue() { return *bottleneck_; }

@@ -24,6 +24,7 @@
 #include "queue/rem.h"
 #include "pels/pels_sink.h"
 #include "pels/pels_source.h"
+#include "sim/invariants.h"
 #include "sim/timer.h"
 #include "telemetry/sampler.h"
 #include "video/rd_model.h"
@@ -89,6 +90,16 @@ struct ScenarioConfig {
   /// path then carries no telemetry work at all.
   TelemetryConfig telemetry;
 
+  /// Runtime invariant monitor (see DESIGN.md §9): when enabled, the
+  /// scenario attaches an InvariantMonitor checking packet conservation on
+  /// every link, per-band occupancy bounds at the PELS bottleneck, γ ∈ [0,1]
+  /// and non-negative finite MKC rates per flow, monotone telemetry sample
+  /// timestamps, and (when progress_stall_ticks > 0) bottleneck arrival
+  /// progress. Violations carry the fault-plan position as context. Off by
+  /// default; the chaos campaign (bench/chaos_sweep) and robustness tests
+  /// turn it on.
+  InvariantConfig invariants;
+
   /// Rejects nonsensical parameters (probabilities outside [0,1), gains
   /// outside their stability regions, non-positive bandwidths/intervals,
   /// restarts without a PELS bottleneck) with std::invalid_argument. Called
@@ -111,6 +122,10 @@ class DumbbellScenario {
   void finish();
 
   Simulation& sim() { return sim_; }
+  /// The underlying graph — link 0 is the forward bottleneck, link 1 the
+  /// reverse (ACK) direction. Exposed for invariant checks and fault tooling
+  /// that need per-link counters.
+  Topology& topology() { return topo_; }
   int pels_flow_count() const { return cfg_.pels_flows; }
   PelsSource& source(int i) { return *sources_.at(static_cast<std::size_t>(i)); }
   PelsSink& sink(int i) { return *sinks_.at(static_cast<std::size_t>(i)); }
@@ -149,9 +164,16 @@ class DumbbellScenario {
   TimeSeriesSampler* telemetry_sampler() { return telemetry_.get(); }
   const TimeSeriesSampler* telemetry_sampler() const { return telemetry_.get(); }
 
+  /// Invariant monitor; null unless config().invariants.enabled. Violations
+  /// (if any) accumulate in monitor->violations(); with abort_on_violation
+  /// the failing tick throws InvariantViolationError out of run_until.
+  InvariantMonitor* invariant_monitor() { return invariants_.get(); }
+  const InvariantMonitor* invariant_monitor() const { return invariants_.get(); }
+
  private:
   void sample_losses();
   void setup_telemetry();
+  void setup_invariants();
 
   ScenarioConfig cfg_;
   Simulation sim_;
@@ -173,6 +195,7 @@ class DumbbellScenario {
   std::unique_ptr<PeriodicTimer> sampler_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<TimeSeriesSampler> telemetry_;
+  std::unique_ptr<InvariantMonitor> invariants_;
   ColorCounters last_counters_;
   TimeSeries loss_series_[kNumColors];
   TimeSeries fgs_loss_series_;

@@ -1,0 +1,174 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace pels {
+
+InvariantViolationError::InvariantViolationError(InvariantViolation v)
+    : std::runtime_error("invariant '" + v.invariant + "' violated at t=" +
+                         std::to_string(v.at) + "ns (tick " + std::to_string(v.tick) +
+                         "): " + v.detail +
+                         (v.context.empty() ? std::string() : " [" + v.context + "]")),
+      violation_(std::move(v)) {}
+
+void InvariantConfig::validate() const {
+  if (!enabled) return;
+  if (period <= 0) {
+    throw std::invalid_argument("InvariantConfig: period must be > 0");
+  }
+  if (max_records == 0) {
+    throw std::invalid_argument("InvariantConfig: max_records must be >= 1");
+  }
+  if (wall_clock_budget_s < 0.0) {
+    throw std::invalid_argument("InvariantConfig: wall_clock_budget_s must be >= 0");
+  }
+}
+
+InvariantMonitor::InvariantMonitor(Scheduler& sched, InvariantConfig config)
+    : cfg_(config),
+      sched_(sched),
+      timer_(sched, config.period > 0 ? config.period : from_millis(10),
+             [this] { check_now(); }),
+      wall_start_(std::chrono::steady_clock::now()) {
+  InvariantConfig check = cfg_;
+  check.enabled = true;  // constructing a monitor means running it
+  check.validate();
+}
+
+void InvariantMonitor::add_check(std::string name, CheckFn check) {
+  Check c;
+  c.name = std::move(name);
+  c.fn = std::move(check);
+  checks_.push_back(std::move(c));
+}
+
+void InvariantMonitor::add_monotone_check(std::string name, ProbeFn probe) {
+  Check c;
+  c.name = std::move(name);
+  c.probe = std::move(probe);
+  c.is_monotone = true;
+  checks_.push_back(std::move(c));
+}
+
+void InvariantMonitor::add_progress_check(std::string name, ProbeFn probe,
+                                          std::uint64_t stall_ticks) {
+  if (stall_ticks == 0) {
+    throw std::invalid_argument("InvariantMonitor: stall_ticks must be >= 1");
+  }
+  Check c;
+  c.name = std::move(name);
+  c.probe = std::move(probe);
+  c.is_progress = true;
+  c.stall_ticks = stall_ticks;
+  checks_.push_back(std::move(c));
+}
+
+void InvariantMonitor::set_context(ContextFn context) { context_ = std::move(context); }
+
+void InvariantMonitor::start() { timer_.start(); }
+void InvariantMonitor::stop() { timer_.stop(); }
+
+void InvariantMonitor::report(const std::string& name, std::string detail) {
+  InvariantViolation v;
+  v.invariant = name;
+  v.at = sched_.now();
+  v.tick = ticks_;
+  v.detail = std::move(detail);
+  if (context_) v.context = context_();
+  ++violation_count_;
+  if (cfg_.abort_on_violation) throw InvariantViolationError(std::move(v));
+  if (records_.size() < cfg_.max_records) records_.push_back(std::move(v));
+}
+
+void InvariantMonitor::run_check(Check& check) {
+  if (check.is_monotone) {
+    const double value = check.probe();
+    if (check.has_last && value < check.last) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "value went backwards: %.17g -> %.17g",
+                    check.last, value);
+      report(check.name, buf);
+    }
+    check.last = check.has_last ? std::max(check.last, value) : value;
+    check.has_last = true;
+    return;
+  }
+  if (check.is_progress) {
+    const double value = check.probe();
+    if (!check.has_last || value > check.last) {
+      check.last = value;
+      check.has_last = true;
+      check.stalled = 0;
+      return;
+    }
+    if (++check.stalled >= check.stall_ticks) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "no progress for %llu ticks (value %.17g)",
+                    static_cast<unsigned long long>(check.stalled), value);
+      check.stalled = 0;  // re-arm: one report per stall, not per tick
+      report(check.name, buf);
+    }
+    return;
+  }
+  std::string detail;
+  if (!check.fn(detail)) report(check.name, std::move(detail));
+}
+
+void InvariantMonitor::check_now() {
+  // Built-in: scheduler time must never move backwards between ticks. A
+  // trivially cheap canary for the property every other check assumes.
+  const SimTime now = sched_.now();
+  if (now < last_tick_time_) {
+    report("sim.monotone_time",
+           "scheduler time went backwards: " + std::to_string(last_tick_time_) +
+               " -> " + std::to_string(now));
+  }
+  last_tick_time_ = now;
+
+  if (cfg_.wall_clock_budget_s > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    if (elapsed > cfg_.wall_clock_budget_s) {
+      // A timeout is never record-and-continue: the point is to stop burning
+      // wall clock. Bypass abort_on_violation and throw directly.
+      InvariantViolation v;
+      v.invariant = "monitor.wall_clock_budget";
+      v.at = now;
+      v.tick = ticks_;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "exceeded %.1fs wall-clock budget (%.1fs elapsed)",
+                    cfg_.wall_clock_budget_s, elapsed);
+      v.detail = buf;
+      if (context_) v.context = context_();
+      ++violation_count_;
+      throw InvariantViolationError(std::move(v));
+    }
+  }
+
+  for (Check& check : checks_) run_check(check);
+  ++ticks_;
+}
+
+void InvariantMonitor::write_json(std::ostream& os) const {
+  os << '[';
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const InvariantViolation& v = records_[i];
+    if (i > 0) os << ',';
+    os << "{\"invariant\":";
+    write_json_string(os, v.invariant);
+    os << ",\"at_ns\":" << v.at << ",\"tick\":" << v.tick << ",\"detail\":";
+    write_json_string(os, v.detail);
+    os << ",\"context\":";
+    write_json_string(os, v.context);
+    os << '}';
+  }
+  os << ']';
+}
+
+}  // namespace pels

@@ -1,0 +1,174 @@
+// Runtime invariant monitor: turn "it didn't crash" into "every invariant
+// held" — and when one doesn't, into a structured, replayable record.
+//
+// An InvariantMonitor rides the scheduler as a periodic control tick and
+// evaluates a set of registered checks against live simulation state. Checks
+// are cheap global properties that must hold at *every* quiescent instant
+// (between events), not statistical expectations: packet conservation across
+// links and queues, queue occupancies within configured bounds, controller
+// state inside its mathematical domain (γ ∈ [0,1], non-negative rates),
+// monotone time. The chaos harness (fault/chaos.h, bench/chaos_sweep)
+// drives randomized fault schedules through scenarios with a monitor
+// attached; a single failing tick is what the shrinker minimizes into a
+// repro artifact.
+//
+// Layering: this module lives in pels_sim and therefore knows nothing about
+// links, queues, or telemetry. Checks are plain std::functions installed by
+// whoever owns the concrete objects (DumbbellScenario installs the
+// conservation/band/γ checks; tests install synthetic ones). Three check
+// flavours cover the catalog:
+//
+//   * add_check        — predicate over arbitrary state; fills a detail
+//                        string on failure.
+//   * add_monotone     — a probed value must never decrease across ticks
+//                        (scheduler time, telemetry sample timestamps,
+//                        cumulative counters).
+//   * add_progress     — a probed value must strictly increase at least once
+//                        every `stall_ticks` ticks: a liveness watchdog that
+//                        turns a silent wedge into a diagnostic.
+//
+// Violations are recorded (sim time, tick index, detail, fault-plan context
+// from the installed context callback) up to a cap, and counted beyond it.
+// With abort_on_violation set the failing tick throws InvariantViolationError
+// instead, which SweepRunner's per-task capture converts into a per-task
+// error — one poisoned schedule cannot take down a campaign. A wall-clock
+// budget provides a cooperative per-task timeout through the same path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/timer.h"
+#include "util/time.h"
+
+namespace pels {
+
+/// One failed check at one monitor tick.
+struct InvariantViolation {
+  std::string invariant;  // registered check name
+  SimTime at = 0;         // simulation time of the failing tick
+  std::uint64_t tick = 0; // monitor tick index (0-based)
+  std::string detail;     // check-provided diagnostic (values, indices)
+  std::string context;    // monitor-level context (e.g. fault-plan position)
+};
+
+/// Thrown by the failing tick when abort_on_violation is set (and always for
+/// wall-clock budget overruns). Carries the structured record so catchers
+/// (chaos campaign, shrinker predicate) need not parse what().
+class InvariantViolationError : public std::runtime_error {
+ public:
+  explicit InvariantViolationError(InvariantViolation v);
+  const InvariantViolation& violation() const { return violation_; }
+
+ private:
+  InvariantViolation violation_;
+};
+
+/// Declarative monitor switch for scenario configs (mirrors TelemetryConfig).
+struct InvariantConfig {
+  bool enabled = false;
+  /// Tick period. Checks are cheap (a few loads per link/flow) but not free;
+  /// 10 ms keeps monitor overhead within the bench gate's budget while still
+  /// bracketing every fault window the chaos generator emits (>= 20 ms).
+  SimTime period = from_millis(10);
+  /// Throw InvariantViolationError at the failing tick instead of recording
+  /// and continuing. Campaigns set this: the error carries the exact failing
+  /// instant, and SweepRunner's capture keeps the batch alive.
+  bool abort_on_violation = false;
+  /// Violation records kept; further violations are counted, not stored.
+  std::size_t max_records = 32;
+  /// Ticks without strict progress tolerated by the scenario's built-in
+  /// arrival-progress watchdog; 0 disables it. Scenario-specific (see
+  /// DumbbellScenario): a fault-free config with sources starting late would
+  /// trip a tight threshold.
+  std::uint64_t progress_stall_ticks = 0;
+  /// Cooperative per-task timeout: when > 0, a tick past this much wall
+  /// clock since monitor construction throws (always — a timeout cannot be
+  /// recorded and continued). Guards sweeps against a wedged or pathological
+  /// schedule without any OS-level machinery.
+  double wall_clock_budget_s = 0.0;
+
+  /// Throws std::invalid_argument on nonsense (non-positive period, zero
+  /// record cap, negative budget). Only checked when enabled.
+  void validate() const;
+};
+
+class InvariantMonitor {
+ public:
+  /// Returns true when the invariant holds; on failure fills `detail` with a
+  /// human-readable diagnostic (current values, offending index).
+  using CheckFn = std::function<bool(std::string& detail)>;
+  /// Reads one scalar from live state; must be cheap and side-effect-free.
+  using ProbeFn = std::function<double()>;
+  /// Produces the context string attached to every violation record.
+  using ContextFn = std::function<std::string()>;
+
+  InvariantMonitor(Scheduler& sched, InvariantConfig config);
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  void add_check(std::string name, CheckFn check);
+  /// `probe` must be non-decreasing across ticks.
+  void add_monotone_check(std::string name, ProbeFn probe);
+  /// `probe` must strictly increase at least once every `stall_ticks` ticks
+  /// (>= 1). The first observation arms the watchdog; a violation re-arms it
+  /// so a recorded (non-aborting) stall is reported once per stall, not once
+  /// per tick.
+  void add_progress_check(std::string name, ProbeFn probe, std::uint64_t stall_ticks);
+  /// Installs the violation-context callback (e.g. fault-plan position).
+  void set_context(ContextFn context);
+
+  /// Starts ticking every config().period (first tick one period from now).
+  void start();
+  void stop();
+
+  /// Runs every check at the current simulation time. The periodic tick body;
+  /// also callable directly (tests, end-of-run final sweep).
+  void check_now();
+
+  const InvariantConfig& config() const { return cfg_; }
+  std::uint64_t ticks() const { return ticks_; }
+  /// Total violations observed, including those beyond the record cap.
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<InvariantViolation>& violations() const { return records_; }
+  std::size_t check_count() const { return checks_.size(); }
+
+  /// Deterministic JSON array of the recorded violations (repro artifacts).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Check {
+    std::string name;
+    CheckFn fn;
+    // Monotone/progress bookkeeping (unused for plain checks).
+    ProbeFn probe;
+    bool is_monotone = false;
+    bool is_progress = false;
+    bool has_last = false;
+    double last = 0.0;
+    std::uint64_t stall_ticks = 0;
+    std::uint64_t stalled = 0;
+  };
+
+  void run_check(Check& check);
+  void report(const std::string& name, std::string detail);
+
+  InvariantConfig cfg_;
+  Scheduler& sched_;
+  PeriodicTimer timer_;
+  std::vector<Check> checks_;
+  ContextFn context_;
+  SimTime last_tick_time_ = -1;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<InvariantViolation> records_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace pels

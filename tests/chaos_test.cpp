@@ -1,0 +1,327 @@
+// Chaos harness tests: seeded plan generation, severity bounds, the
+// delta-debugging shrinker, JSON round-trips, FaultPlan validation edge
+// cases, and byte-identity of the generate→violate→shrink pipeline across
+// SweepRunner thread counts {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace pels {
+namespace {
+
+ChaosLimits test_limits() {
+  ChaosLimits limits;
+  limits.horizon = from_seconds(10);
+  return limits;
+}
+
+// ------------------------------------------------------------ generator
+
+TEST(ChaosGeneratorTest, SameSeedSameStreamOfPlans) {
+  ChaosPlanGenerator a(test_limits(), Rng(42, 7));
+  ChaosPlanGenerator b(test_limits(), Rng(42, 7));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fault_plan_to_json(a.next()), fault_plan_to_json(b.next())) << "plan " << i;
+  }
+  EXPECT_EQ(a.generated(), 32u);
+  ChaosPlanGenerator c(test_limits(), Rng(43, 7));
+  ChaosPlanGenerator d(test_limits(), Rng(42, 7));
+  bool any_differ = false;
+  for (int i = 0; i < 32; ++i) {
+    if (fault_plan_to_json(c.next()) != fault_plan_to_json(d.next())) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);  // different seeds explore different schedules
+}
+
+TEST(ChaosGeneratorTest, EveryPlanIsValidAndWithinSeverityBounds) {
+  const ChaosLimits limits = test_limits();
+  ChaosPlanGenerator gen(limits, Rng(1234, 0));
+  std::size_t nonempty = 0;
+  std::size_t with_ge = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan plan = gen.next();
+    ASSERT_NO_THROW(plan.validate()) << "plan " << i;
+    EXPECT_LE(plan.link_flaps.size(), static_cast<std::size_t>(limits.max_flaps));
+    EXPECT_LE(plan.brownouts.size(), static_cast<std::size_t>(limits.max_brownouts));
+    EXPECT_LE(plan.router_restarts.size(), static_cast<std::size_t>(limits.max_restarts));
+    EXPECT_LE(plan.ack_blackouts.size(), static_cast<std::size_t>(limits.max_blackouts));
+    for (const FaultPlan::LinkFlap& f : plan.link_flaps) {
+      EXPECT_GE(f.down_at, limits.min_start);
+      EXPECT_LE(f.up_at, limits.horizon);
+      EXPECT_GE(f.up_at - f.down_at, limits.min_window);
+      EXPECT_LE(f.up_at - f.down_at, limits.max_window);
+    }
+    for (const FaultPlan::Brownout& b : plan.brownouts) {
+      EXPECT_GE(b.at, limits.min_start);
+      EXPECT_LE(b.until, limits.horizon);
+      EXPECT_GE(b.factor, limits.min_brownout_factor);
+      EXPECT_LE(b.factor, 1.0);
+    }
+    for (const FaultPlan::RouterRestart& r : plan.router_restarts) {
+      EXPECT_GE(r.at, limits.min_start);
+      EXPECT_LT(r.at, limits.horizon);
+    }
+    if (plan.burst_corruption) {
+      ++with_ge;
+      EXPECT_LE(plan.burst_corruption->loss_bad, limits.max_ge_loss_bad);
+      EXPECT_LE(plan.burst_corruption->p_good_to_bad, limits.max_ge_p_good_to_bad);
+    }
+    if (!plan.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 150u);  // the sampler is not degenerate
+  EXPECT_GT(with_ge, 0u);     // ge_probability=0.25 over 200 draws
+}
+
+TEST(ChaosLimitsTest, ValidationRejectsNonsense) {
+  ChaosLimits limits = test_limits();
+  EXPECT_NO_THROW(limits.validate());
+  limits.min_window = limits.max_window + 1;
+  EXPECT_THROW(limits.validate(), std::invalid_argument);
+  limits = test_limits();
+  limits.ge_probability = 1.5;
+  EXPECT_THROW(limits.validate(), std::invalid_argument);
+  limits = test_limits();
+  limits.max_flaps = 0;
+  limits.max_brownouts = 0;
+  limits.max_restarts = 0;
+  limits.max_blackouts = 0;
+  limits.ge_probability = 0.0;
+  EXPECT_THROW(limits.validate(), std::invalid_argument);  // empty fault budget
+}
+
+// ------------------------------------------------------------ validation edges
+
+TEST(FaultPlanValidationTest, ZeroLengthWindowsAreRejected) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(100), from_millis(100)});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  FaultPlan brown;
+  brown.brownouts.push_back({from_millis(100), from_millis(100), 0.5});
+  EXPECT_THROW(brown.validate(), std::invalid_argument);
+
+  FaultPlan black;
+  black.ack_blackouts.push_back({from_millis(200), from_millis(150)});
+  EXPECT_THROW(black.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidationTest, OverlappingSameKindWindowsAreRejected) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(100), from_millis(300)});
+  plan.link_flaps.push_back({from_millis(200), from_millis(400)});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  FaultPlan brown;
+  brown.brownouts.push_back({from_millis(100), from_millis(300), 0.5});
+  brown.brownouts.push_back({from_millis(250), from_millis(500), 0.75});
+  EXPECT_THROW(brown.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidationTest, TouchingWindowsAndCrossKindOverlapAreFine) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(100), from_millis(300)});
+  plan.link_flaps.push_back({from_millis(300), from_millis(400)});  // touching
+  // A brown-out overlapping a flap is fine: different resources.
+  plan.brownouts.push_back({from_millis(150), from_millis(350), 0.5});
+  EXPECT_NO_THROW(plan.validate());
+}
+
+// ------------------------------------------------------------ shrinker
+
+// Synthetic predicate: the "violation" needs a flap covering t=1s AND a
+// brown-out factor <= 0.5. Everything else in the plan is noise the shrinker
+// should strip.
+bool synthetic_violation(const FaultPlan& plan) {
+  bool flap_covers = false;
+  for (const FaultPlan::LinkFlap& f : plan.link_flaps) {
+    if (f.down_at <= from_seconds(1) && from_seconds(1) < f.up_at) flap_covers = true;
+  }
+  bool deep_brownout = false;
+  for (const FaultPlan::Brownout& b : plan.brownouts) {
+    if (b.factor <= 0.5) deep_brownout = true;
+  }
+  return flap_covers && deep_brownout;
+}
+
+FaultPlan noisy_plan() {
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(900), from_millis(1500)});  // needed
+  plan.link_flaps.push_back({from_millis(3000), from_millis(3500)});  // noise
+  plan.brownouts.push_back({from_millis(2000), from_millis(2500), 0.3});  // needed
+  plan.brownouts.push_back({from_millis(4000), from_millis(4500), 0.9});  // noise
+  plan.router_restarts.push_back({from_millis(5000)});  // noise
+  plan.ack_blackouts.push_back({from_millis(6000), from_millis(6500)});  // noise
+  return plan;
+}
+
+TEST(ShrinkerTest, StripsNoiseEventsAndKeepsTheViolation) {
+  const FaultPlan plan = noisy_plan();
+  ASSERT_TRUE(synthetic_violation(plan));
+  ASSERT_EQ(fault_plan_event_count(plan), 6u);
+
+  ShrinkStats stats;
+  const FaultPlan shrunk = shrink_fault_plan(plan, synthetic_violation, &stats);
+
+  EXPECT_TRUE(synthetic_violation(shrunk));  // guaranteed by contract
+  EXPECT_NO_THROW(shrunk.validate());
+  EXPECT_EQ(fault_plan_event_count(shrunk), 2u);  // exactly the needed pair
+  ASSERT_EQ(shrunk.link_flaps.size(), 1u);
+  EXPECT_LE(shrunk.link_flaps[0].down_at, from_seconds(1));
+  EXPECT_GT(shrunk.link_flaps[0].up_at, from_seconds(1));
+  ASSERT_EQ(shrunk.brownouts.size(), 1u);
+  EXPECT_LE(shrunk.brownouts[0].factor, 0.5);
+  EXPECT_TRUE(shrunk.router_restarts.empty());
+  EXPECT_TRUE(shrunk.ack_blackouts.empty());
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GE(stats.rounds, 2u);  // at least one productive round + the fixpoint
+  EXPECT_GE(stats.probes, stats.accepted);
+}
+
+TEST(ShrinkerTest, ShrinkIsDeterministic) {
+  ShrinkStats s1, s2;
+  const FaultPlan a = shrink_fault_plan(noisy_plan(), synthetic_violation, &s1);
+  const FaultPlan b = shrink_fault_plan(noisy_plan(), synthetic_violation, &s2);
+  EXPECT_EQ(fault_plan_to_json(a), fault_plan_to_json(b));
+  EXPECT_EQ(s1.probes, s2.probes);
+  EXPECT_EQ(s1.accepted, s2.accepted);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+}
+
+TEST(ShrinkerTest, ProbeBudgetIsHonoured) {
+  ShrinkStats stats;
+  const FaultPlan shrunk =
+      shrink_fault_plan(noisy_plan(), synthetic_violation, &stats, /*max_probes=*/3);
+  EXPECT_LE(stats.probes, 3u);
+  EXPECT_TRUE(synthetic_violation(shrunk));  // still violating even when cut short
+}
+
+// ------------------------------------------------------------ JSON round-trip
+
+TEST(ChaosJsonTest, FaultPlanRoundTripsExactly) {
+  ChaosPlanGenerator gen(test_limits(), Rng(77, 3));
+  for (int i = 0; i < 50; ++i) {
+    const FaultPlan plan = gen.next();
+    const std::string text = fault_plan_to_json(plan);
+    const FaultPlan back = fault_plan_from_json(text);
+    EXPECT_EQ(fault_plan_to_json(back), text) << "plan " << i;
+  }
+}
+
+TEST(ChaosJsonTest, ReproArtifactIsParsableAndDeterministic) {
+  InvariantViolation v;
+  v.invariant = "selftest.link_up";
+  v.at = from_millis(700);
+  v.tick = 69;
+  v.detail = "down";
+  v.context = "flap[past=0,active=1,ahead=0]";
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(500), from_millis(900)});
+  ShrinkStats stats;
+  stats.probes = 13;
+  stats.accepted = 8;
+  stats.rounds = 4;
+
+  const auto render = [&] {
+    std::ostringstream os;
+    write_chaos_repro_json(os, /*seed=*/0xC0FFEE, v, plan, stats, /*original_events=*/6);
+    return os.str();
+  };
+  const std::string text = render();
+  EXPECT_EQ(text, render());
+
+  const JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.at("schema_version").as_int64(), 1);
+  EXPECT_EQ(doc.at("kind").as_string(), "chaos-repro");
+  EXPECT_EQ(doc.at("seed").as_int64(), 0xC0FFEE);
+  EXPECT_EQ(doc.at("invariant").as_string(), "selftest.link_up");
+  EXPECT_EQ(doc.at("context").as_string(), "flap[past=0,active=1,ahead=0]");
+  EXPECT_EQ(doc.at("shrink").at("original_events").as_int64(), 6);
+  EXPECT_EQ(doc.at("shrink").at("shrunk_events").as_int64(), 1);
+  const FaultPlan replay = fault_plan_from_json(doc.at("fault_plan"));
+  EXPECT_EQ(fault_plan_to_json(replay), fault_plan_to_json(plan));
+}
+
+// ------------------------------------------------------------ position string
+
+TEST(ChaosContextTest, DescribeFaultPositionCountsWindows) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({from_millis(100), from_millis(200)});
+  plan.link_flaps.push_back({from_millis(500), from_millis(800)});
+  plan.ack_blackouts.push_back({from_millis(900), from_millis(950)});
+  const std::string s = describe_fault_position(plan, from_millis(600));
+  EXPECT_NE(s.find("flap[past=1,active=1,ahead=0]"), std::string::npos) << s;
+  EXPECT_NE(s.find("blackout[past=0,active=0,ahead=1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("ge=off"), std::string::npos) << s;
+}
+
+// ------------------------------------------------------------ thread identity
+
+// The full pipeline — generate schedule i, evaluate the synthetic predicate,
+// shrink when it fires — must be byte-identical no matter how many workers
+// execute it. Each task regenerates its own plan from (seed, index), exactly
+// as the campaign driver replays schedules.
+// Fires often enough on sampled plans that a small campaign exercises both
+// branches: any flap combined with any reasonably deep brown-out.
+bool pipeline_violation(const FaultPlan& plan) {
+  bool deep_brownout = false;
+  for (const FaultPlan::Brownout& b : plan.brownouts) {
+    if (b.factor <= 0.75) deep_brownout = true;
+  }
+  return !plan.link_flaps.empty() && deep_brownout;
+}
+
+std::string pipeline_result(std::uint64_t seed, int index) {
+  ChaosPlanGenerator gen(test_limits(), Rng(seed, 0xC0));
+  FaultPlan plan;
+  for (int k = 0; k <= index; ++k) plan = gen.next();
+  if (!pipeline_violation(plan)) return "clean:" + fault_plan_to_json(plan);
+  ShrinkStats stats;
+  const FaultPlan shrunk = shrink_fault_plan(plan, pipeline_violation, &stats);
+  return "shrunk[" + std::to_string(stats.probes) + "," + std::to_string(stats.accepted) +
+         "]:" + fault_plan_to_json(shrunk);
+}
+
+TEST(ChaosThreadIdentityTest, PipelineIsByteIdenticalAcrossThreadCounts) {
+  constexpr std::uint64_t kSeed = 2026;
+  constexpr int kSchedules = 24;
+  std::vector<std::string> reference;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SweepRunner runner(threads);
+    std::vector<std::function<std::string()>> tasks;
+    for (int i = 0; i < kSchedules; ++i) {
+      tasks.push_back([i] { return pipeline_result(kSeed, i); });
+    }
+    std::vector<TaskOutcome<std::string>> out = runner.run<std::string>(std::move(tasks));
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(kSchedules));
+    std::vector<std::string> results;
+    for (const TaskOutcome<std::string>& o : out) {
+      ASSERT_TRUE(o.ok()) << o.error;
+      results.push_back(*o.value);
+    }
+    if (reference.empty()) {
+      reference = results;
+      // Sanity: the seed exercises both branches of the pipeline.
+      std::size_t shrunk = 0;
+      for (const std::string& r : results) shrunk += r.rfind("shrunk", 0) == 0;
+      EXPECT_GT(shrunk, 0u);
+      EXPECT_LT(shrunk, results.size());
+    } else {
+      EXPECT_EQ(results, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pels

@@ -1,0 +1,274 @@
+// InvariantMonitor tests: the runtime invariant catalog (DESIGN.md §9).
+//
+// Covers the three check flavours (predicate, monotone, progress watchdog),
+// record-vs-abort reporting, the wall-clock budget, violation JSON, and the
+// scenario integration: a monitored dumbbell run — fault-free and heavily
+// faulted — must complete with zero violations, and the deliberately-broken
+// cases must produce structured records carrying the fault-plan position.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fault/chaos.h"
+#include "pels/scenario.h"
+#include "sim/invariants.h"
+#include "sim/simulation.h"
+
+namespace pels {
+namespace {
+
+InvariantConfig test_config() {
+  InvariantConfig cfg;
+  cfg.enabled = true;
+  cfg.period = from_millis(10);
+  return cfg;
+}
+
+// ------------------------------------------------------------ config
+
+TEST(InvariantConfigTest, ValidationRejectsNonsenseOnlyWhenEnabled) {
+  InvariantConfig cfg;
+  cfg.period = 0;
+  EXPECT_NO_THROW(cfg.validate());  // disabled configs are inert
+  cfg.enabled = true;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.period = from_millis(10);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.max_records = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.max_records = 1;
+  cfg.wall_clock_budget_s = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ check flavours
+
+TEST(InvariantMonitorTest, PassingChecksRecordNothing) {
+  Simulation sim(1);
+  InvariantMonitor monitor(sim.scheduler(), test_config());
+  monitor.add_check("always.true", [](std::string&) { return true; });
+  monitor.start();
+  sim.run_until(from_millis(100));
+  EXPECT_GE(monitor.ticks(), 9u);
+  EXPECT_EQ(monitor.violation_count(), 0u);
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(InvariantMonitorTest, FailingCheckRecordsStructuredViolationWithContext) {
+  Simulation sim(1);
+  InvariantConfig cfg = test_config();
+  cfg.max_records = 2;  // cap below the violation count
+  InvariantMonitor monitor(sim.scheduler(), cfg);
+  monitor.set_context([&sim] { return "ctx@" + std::to_string(sim.now()); });
+  monitor.add_check("always.false", [](std::string& detail) {
+    detail = "it broke";
+    return false;
+  });
+  monitor.start();
+  sim.run_until(from_millis(55));  // 5 ticks -> 5 violations, 2 recorded
+
+  EXPECT_EQ(monitor.violation_count(), 5u);
+  ASSERT_EQ(monitor.violations().size(), 2u);
+  const InvariantViolation& v = monitor.violations().front();
+  EXPECT_EQ(v.invariant, "always.false");
+  EXPECT_EQ(v.at, from_millis(10));
+  EXPECT_EQ(v.tick, 0u);
+  EXPECT_EQ(v.detail, "it broke");
+  EXPECT_EQ(v.context, "ctx@" + std::to_string(from_millis(10)));
+}
+
+TEST(InvariantMonitorTest, AbortOnViolationThrowsFromTheFailingTick) {
+  Simulation sim(1);
+  InvariantConfig cfg = test_config();
+  cfg.abort_on_violation = true;
+  InvariantMonitor monitor(sim.scheduler(), cfg);
+  monitor.add_check("always.false", [](std::string& detail) {
+    detail = "boom";
+    return false;
+  });
+  monitor.start();
+  try {
+    sim.run_until(from_millis(100));
+    FAIL() << "expected InvariantViolationError";
+  } catch (const InvariantViolationError& e) {
+    EXPECT_EQ(e.violation().invariant, "always.false");
+    EXPECT_EQ(e.violation().at, from_millis(10));  // the *first* failing tick
+    EXPECT_NE(std::string(e.what()).find("always.false"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(InvariantMonitorTest, MonotoneCheckFlagsAnyDecrease) {
+  Simulation sim(1);
+  InvariantMonitor monitor(sim.scheduler(), test_config());
+  double value = 0.0;
+  monitor.add_monotone_check("probe", [&value] { return value; });
+  monitor.start();
+  sim.at(from_millis(5), [&value] { value = 10.0; });
+  sim.at(from_millis(35), [&value] { value = 3.0; });  // backwards
+  sim.run_until(from_millis(45));  // one tick past the decrease
+  ASSERT_EQ(monitor.violation_count(), 1u);
+  EXPECT_EQ(monitor.violations().front().invariant, "probe");
+  EXPECT_EQ(monitor.violations().front().at, from_millis(40));
+  // The high-water mark persists: recovering to the previous maximum is not
+  // a fresh violation, but staying below it keeps reporting.
+  sim.at(from_millis(47), [&value] { value = 10.0; });
+  sim.run_until(from_millis(65));
+  EXPECT_EQ(monitor.violation_count(), 1u);
+}
+
+TEST(InvariantMonitorTest, ProgressWatchdogTripsOnStallAndRearms) {
+  Simulation sim(1);
+  InvariantMonitor monitor(sim.scheduler(), test_config());
+  double value = 1.0;
+  monitor.add_progress_check("liveness", [&value] { return value; }, 3);
+  monitor.start();
+  // Value never moves after the first observation (tick @10ms). With the
+  // re-arm, a stall reports once per stall_ticks window, not once per tick:
+  // reports land at 40, 70, and 100 ms.
+  sim.run_until(from_millis(125));  // ticks at 10..120 ms
+  EXPECT_EQ(monitor.violation_count(), 3u);
+
+  // Progress resets the stall counter: the 130 ms tick observes the new
+  // value, so ticks 140/150 only reach stall count 2 of 3.
+  const std::uint64_t before = monitor.violation_count();
+  sim.at(from_millis(127), [&value] { value = 2.0; });
+  sim.run_until(from_millis(155));
+  EXPECT_EQ(monitor.violation_count(), before);
+  EXPECT_THROW(monitor.add_progress_check("bad", [] { return 0.0; }, 0),
+               std::invalid_argument);
+}
+
+TEST(InvariantMonitorTest, WallClockBudgetThrowsEvenInRecordMode) {
+  Simulation sim(1);
+  InvariantConfig cfg = test_config();
+  cfg.abort_on_violation = false;  // record mode — the budget must still throw
+  cfg.wall_clock_budget_s = 1e-9;
+  InvariantMonitor monitor(sim.scheduler(), cfg);
+  monitor.start();
+  try {
+    sim.run_until(from_millis(20));
+    FAIL() << "expected InvariantViolationError";
+  } catch (const InvariantViolationError& e) {
+    EXPECT_EQ(e.violation().invariant, "monitor.wall_clock_budget");
+  }
+}
+
+TEST(InvariantMonitorTest, ViolationJsonIsStructuredAndDeterministic) {
+  const auto render = [] {
+    Simulation sim(1);
+    InvariantMonitor monitor(sim.scheduler(), test_config());
+    monitor.set_context([] { return "fixed-context"; });
+    monitor.add_check("json.check", [](std::string& detail) {
+      detail = "needs \"escaping\"\n";
+      return false;
+    });
+    monitor.start();
+    sim.run_until(from_millis(25));
+    std::ostringstream os;
+    monitor.write_json(os);
+    return os.str();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());  // deterministic across runs
+  // Parses back with the project JSON parser; fields survive escaping.
+  const JsonValue doc = JsonValue::parse(a);
+  ASSERT_EQ(doc.kind(), JsonValue::Kind::kArray);
+  ASSERT_EQ(doc.items().size(), 2u);  // ticks at 10 and 20 ms
+  EXPECT_EQ(doc.items()[0].at("invariant").as_string(), "json.check");
+  EXPECT_EQ(doc.items()[0].at("detail").as_string(), "needs \"escaping\"\n");
+  EXPECT_EQ(doc.items()[0].at("context").as_string(), "fixed-context");
+}
+
+// ------------------------------------------------------------ scenario wiring
+
+ScenarioConfig monitored_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.pels_flows = 2;
+  cfg.tcp_flows = 1;
+  cfg.seed = seed;
+  cfg.invariants.enabled = true;
+  return cfg;
+}
+
+TEST(ScenarioInvariantTest, CleanRunHoldsEveryInvariant) {
+  ScenarioConfig cfg = monitored_config(7);
+  cfg.invariants.progress_stall_ticks = 200;
+  DumbbellScenario s(cfg);
+  ASSERT_NE(s.invariant_monitor(), nullptr);
+  EXPECT_GE(s.invariant_monitor()->check_count(), 3u);  // conservation/bands/γ
+  s.run_until(from_seconds(3));
+  s.invariant_monitor()->check_now();
+  s.finish();
+  EXPECT_GT(s.invariant_monitor()->ticks(), 0u);
+  EXPECT_EQ(s.invariant_monitor()->violation_count(), 0u)
+      << (s.invariant_monitor()->violations().empty()
+              ? ""
+              : s.invariant_monitor()->violations().front().detail);
+}
+
+TEST(ScenarioInvariantTest, FaultedRunHoldsEveryInvariantAndCarriesPlanContext) {
+  ScenarioConfig cfg = monitored_config(11);
+  cfg.faults.link_flaps.push_back({from_millis(500), from_millis(900)});
+  cfg.faults.brownouts.push_back({from_millis(1200), from_millis(1600), 0.4});
+  cfg.faults.ack_blackouts.push_back({from_millis(1800), from_millis(2100)});
+  cfg.faults.router_restarts.push_back({from_millis(2300)});
+  DumbbellScenario s(cfg);
+  s.run_until(from_seconds(3));
+  s.invariant_monitor()->check_now();
+  s.finish();
+  EXPECT_EQ(s.invariant_monitor()->violation_count(), 0u)
+      << (s.invariant_monitor()->violations().empty()
+              ? ""
+              : s.invariant_monitor()->violations().front().detail);
+}
+
+TEST(ScenarioInvariantTest, InjectedFailureIsCaughtWithFaultPlanPosition) {
+  ScenarioConfig cfg = monitored_config(13);
+  cfg.faults.link_flaps.push_back({from_millis(500), from_millis(900)});
+  DumbbellScenario s(cfg);
+  // Deliberately-false check: the bottleneck link is down inside the flap.
+  Link& bottleneck = s.topology().link(0);
+  s.invariant_monitor()->add_check("selftest.link_up", [&bottleneck](std::string& detail) {
+    if (!bottleneck.is_up()) {
+      detail = "down";
+      return false;
+    }
+    return true;
+  });
+  s.run_until(from_seconds(2));
+  ASSERT_GT(s.invariant_monitor()->violation_count(), 0u);
+  const InvariantViolation& v = s.invariant_monitor()->violations().front();
+  EXPECT_EQ(v.invariant, "selftest.link_up");
+  EXPECT_GE(v.at, from_millis(500));
+  EXPECT_LT(v.at, from_millis(900));
+  // The context callback reports the fault-plan position at the violation.
+  EXPECT_NE(v.context.find("flap[past=0,active=1,ahead=0]"), std::string::npos) << v.context;
+}
+
+TEST(ScenarioInvariantTest, MonitorProbesJoinTheTelemetryRegistry) {
+  ScenarioConfig cfg = monitored_config(17);
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.period = from_millis(100);
+  cfg.telemetry.max_samples = 64;
+  DumbbellScenario s(cfg);
+  s.run_until(from_seconds(2));
+  s.finish();
+  ASSERT_NE(s.metrics(), nullptr);
+  ASSERT_NE(s.telemetry_sampler(), nullptr);
+  EXPECT_GT(s.telemetry_sampler()->sample_count(), 0u);
+  EXPECT_EQ(s.invariant_monitor()->violation_count(), 0u);
+  // The sampler itself is under a monotone invariant; a full run with both
+  // subsystems on and zero violations is the integration witness.
+}
+
+TEST(ScenarioInvariantTest, ConfigValidationCoversInvariantBlock) {
+  ScenarioConfig cfg = monitored_config(1);
+  cfg.invariants.period = -1;
+  EXPECT_THROW(DumbbellScenario{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pels

@@ -1,0 +1,281 @@
+// SweepJournal + run_sweep_to_table tests: crash-safe resume semantics.
+//
+// Covers the durability contract (append+flush per task, torn-tail
+// detection, last-line-wins), the resume path (journaled indices skipped,
+// byte-identical committed table), label-mismatch protection, and the
+// degraded-batch knobs (report_and_continue, retry_failed_serially).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/journal.h"
+#include "exp/sweep.h"
+#include "util/table.h"
+
+namespace pels {
+namespace {
+
+/// Self-deleting journal path under the test's working directory.
+class TempPath {
+ public:
+  explicit TempPath(std::string name) : path_(std::move(name)) { std::remove(path_.c_str()); }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SweepOutput make_output(int i) {
+  SweepOutput out;
+  out.rows.push_back({std::to_string(i), "value-" + std::to_string(i * i)});
+  out.text = "task " + std::to_string(i) + " done\n";
+  return out;
+}
+
+std::vector<std::function<SweepOutput()>> make_tasks(int n) {
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([i] { return make_output(i); });
+  }
+  return tasks;
+}
+
+std::vector<std::string> make_labels(int n) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < n; ++i) labels.push_back("seed=" + std::to_string(i));
+  return labels;
+}
+
+std::string csv_of(TablePrinter& table) {
+  std::ostringstream os;
+  table.print_csv(os);
+  return os.str();
+}
+
+// ------------------------------------------------------------ journal core
+
+TEST(SweepJournalTest, RecordThenReloadRoundTrips) {
+  TempPath path("journal_roundtrip.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    EXPECT_EQ(journal.loaded(), 0u);
+    journal.record(0, "seed=0", make_output(0));
+    journal.record(3, "seed=3", make_output(3));
+  }
+  SweepJournal reloaded(path.str());
+  EXPECT_EQ(reloaded.loaded(), 2u);
+  EXPECT_FALSE(reloaded.tail_torn());
+  EXPECT_TRUE(reloaded.has(0));
+  EXPECT_FALSE(reloaded.has(1));
+  ASSERT_NE(reloaded.get(3), nullptr);
+  EXPECT_EQ(reloaded.get(3)->rows, make_output(3).rows);
+  EXPECT_EQ(reloaded.get(3)->text, make_output(3).text);
+  ASSERT_NE(reloaded.label(3), nullptr);
+  EXPECT_EQ(*reloaded.label(3), "seed=3");
+  EXPECT_EQ(reloaded.get(1), nullptr);
+  EXPECT_EQ(reloaded.label(1), nullptr);
+}
+
+TEST(SweepJournalTest, TornTailLosesOnlyTheInFlightTask) {
+  TempPath path("journal_torn.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    for (int i = 0; i < 4; ++i) journal.record(static_cast<std::size_t>(i), "", make_output(i));
+  }
+  // Simulate a crash mid-append: a truncated JSON line at the tail.
+  {
+    std::ofstream f(path.str(), std::ios::app);
+    f << "{\"index\":4,\"la";
+  }
+  SweepJournal journal(path.str());
+  EXPECT_TRUE(journal.tail_torn());
+  EXPECT_EQ(journal.loaded(), 4u);
+  EXPECT_FALSE(journal.has(4));
+}
+
+TEST(SweepJournalTest, LastLineWinsOnRerecordedIndex) {
+  TempPath path("journal_lastwins.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    journal.record(0, "seed=0", make_output(0));
+    journal.record(0, "seed=0", make_output(99));  // re-recorded
+  }
+  SweepJournal reloaded(path.str());
+  EXPECT_EQ(reloaded.size(), 1u);
+  ASSERT_NE(reloaded.get(0), nullptr);
+  EXPECT_EQ(reloaded.get(0)->rows, make_output(99).rows);
+}
+
+// ------------------------------------------------------------ resume
+
+TEST(SweepResumeTest, ResumedSweepCommitsByteIdenticalTable) {
+  constexpr int kTasks = 8;
+  SweepRunner runner(2);
+
+  // Reference: uninterrupted, journal-free run.
+  TablePrinter reference({"i", "value"});
+  run_sweep_to_table(runner, make_tasks(kTasks), reference);
+  const std::string reference_csv = csv_of(reference);
+
+  // "Interrupted" run: journal holds a prefix of the tasks only.
+  TempPath path("journal_resume.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    SweepOptions options;
+    options.labels = make_labels(kTasks);
+    options.journal = &journal;
+    TablePrinter full({"i", "value"});
+    const SweepReport report = run_sweep_to_table(runner, make_tasks(kTasks), full, options);
+    EXPECT_EQ(report.reused, 0u);
+    EXPECT_EQ(report.executed, static_cast<std::size_t>(kTasks));
+    EXPECT_EQ(csv_of(full), reference_csv);
+  }
+  // Keep 5 complete lines, then a torn tail — the crash scenario.
+  std::vector<std::string> lines;
+  {
+    std::ifstream f(path.str());
+    std::string line;
+    while (std::getline(f, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kTasks));
+  {
+    std::ofstream f(path.str(), std::ios::trunc);
+    for (int i = 0; i < 5; ++i) f << lines[static_cast<std::size_t>(i)] << "\n";
+    f << "{\"index\":7,\"la";
+  }
+
+  SweepJournal journal(path.str());
+  EXPECT_TRUE(journal.tail_torn());
+  EXPECT_EQ(journal.loaded(), 5u);
+  SweepOptions options;
+  options.labels = make_labels(kTasks);
+  options.journal = &journal;
+  TablePrinter resumed({"i", "value"});
+  const SweepReport report = run_sweep_to_table(runner, make_tasks(kTasks), resumed, options);
+  EXPECT_EQ(report.reused, 5u);
+  EXPECT_EQ(report.executed, 3u);
+  EXPECT_EQ(csv_of(resumed), reference_csv);
+  // Text also merges in submission order, as an uninterrupted run would.
+  std::string expected_text;
+  for (int i = 0; i < kTasks; ++i) expected_text += make_output(i).text;
+  EXPECT_EQ(report.text, expected_text);
+}
+
+TEST(SweepResumeTest, LabelMismatchThrowsInsteadOfStitching) {
+  constexpr int kTasks = 4;
+  SweepRunner runner(1);
+  TempPath path("journal_mismatch.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    SweepOptions options;
+    options.labels = make_labels(kTasks);
+    options.journal = &journal;
+    TablePrinter table({"i", "value"});
+    run_sweep_to_table(runner, make_tasks(kTasks), table, options);
+  }
+  SweepJournal journal(path.str());
+  SweepOptions options;
+  options.labels = make_labels(kTasks);
+  options.labels[2] = "seed=999";  // a different experiment at index 2
+  options.journal = &journal;
+  TablePrinter table({"i", "value"});
+  EXPECT_THROW(run_sweep_to_table(runner, make_tasks(kTasks), table, options),
+               std::runtime_error);
+  EXPECT_EQ(table.rows(), 0u);  // nothing committed
+}
+
+// ------------------------------------------------------------ failure knobs
+
+std::vector<std::function<SweepOutput()>> tasks_with_failure(int n, int bad_index) {
+  std::vector<std::function<SweepOutput()>> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([i, bad_index]() -> SweepOutput {
+      if (i == bad_index) throw std::runtime_error("scenario diverged");
+      return make_output(i);
+    });
+  }
+  return tasks;
+}
+
+TEST(SweepFailureTest, ReportAndContinueCommitsTheSurvivors) {
+  SweepRunner runner(2);
+  SweepOptions options;
+  options.labels = make_labels(6);
+  options.report_and_continue = true;
+  TablePrinter table({"i", "value"});
+  const SweepReport report = run_sweep_to_table(runner, tasks_with_failure(6, 2), table, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].index, 2u);
+  EXPECT_EQ(report.errors[0].label, "seed=2");
+  EXPECT_NE(report.errors[0].message.find("scenario diverged"), std::string::npos);
+  EXPECT_EQ(table.rows(), 5u);  // the five survivors, in submission order
+}
+
+TEST(SweepFailureTest, RetryFailedSeriallyRescuesFlakyTasks) {
+  SweepRunner runner(2);
+  // Fails the first time it runs, succeeds on the serial retry.
+  auto flaky_state = std::make_shared<std::atomic<int>>(0);
+  std::vector<std::function<SweepOutput()>> tasks = make_tasks(3);
+  tasks.push_back([flaky_state]() -> SweepOutput {
+    if (flaky_state->fetch_add(1) == 0) throw std::runtime_error("transient");
+    return make_output(3);
+  });
+  SweepOptions options;
+  options.retry_failed_serially = true;
+  TablePrinter table({"i", "value"});
+  const SweepReport report = run_sweep_to_table(runner, std::move(tasks), table, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST(SweepFailureTest, JournaledFailureRunSkipsCompletedTasksOnRetry) {
+  // A mid-batch throwing task must not cost the finished tasks: with a
+  // journal attached, the successes are persisted even though the sweep
+  // throws, and the fixed re-run only executes what is missing.
+  constexpr int kTasks = 6;
+  SweepRunner runner(2);
+  TempPath path("journal_failrun.tmp.jsonl");
+  {
+    SweepJournal journal(path.str());
+    SweepOptions options;
+    options.labels = make_labels(kTasks);
+    options.journal = &journal;
+    TablePrinter table({"i", "value"});
+    try {
+      run_sweep_to_table(runner, tasks_with_failure(kTasks, 4), table, options);
+      FAIL() << "expected the staged-commit throw";
+    } catch (const std::runtime_error& e) {
+      // The error names the failing row by index, label, and cause.
+      const std::string what = e.what();
+      EXPECT_NE(what.find("task 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("seed=4"), std::string::npos) << what;
+      EXPECT_NE(what.find("scenario diverged"), std::string::npos) << what;
+    }
+    EXPECT_EQ(table.rows(), 0u);  // staged commit: all or nothing
+  }
+  SweepJournal journal(path.str());
+  EXPECT_EQ(journal.loaded(), static_cast<std::size_t>(kTasks - 1));
+  SweepOptions options;
+  options.labels = make_labels(kTasks);
+  options.journal = &journal;
+  TablePrinter table({"i", "value"});
+  const SweepReport report = run_sweep_to_table(runner, make_tasks(kTasks), table, options);
+  EXPECT_EQ(report.reused, static_cast<std::size_t>(kTasks - 1));
+  EXPECT_EQ(report.executed, 1u);
+  TablePrinter reference({"i", "value"});
+  run_sweep_to_table(runner, make_tasks(kTasks), reference);
+  EXPECT_EQ(csv_of(table), csv_of(reference));
+}
+
+}  // namespace
+}  // namespace pels

@@ -259,5 +259,63 @@ TEST(DomainRunnerTest, UnknownDomainIsRejected) {
   EXPECT_THROW(topo.add_router("y", -1), std::invalid_argument);
 }
 
+// ----------------------------------------------------- error propagation
+
+TEST(DomainRunnerTest, WorkerExceptionSurfacesWithDomainAndWindowContext) {
+  ChainScenario s(/*partitioned=*/true);
+  // A scenario callback blowing up inside the far domain's worker must not
+  // terminate the pool; it surfaces after the join naming the domain.
+  s.sims[1]->at(500 * kMillisecond,
+                [] { throw std::runtime_error("injected scenario fault"); });
+  DomainRunner runner(*s.topo, 2);
+  try {
+    runner.run_until(2 * kSecond);
+    FAIL() << "expected the captured worker exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DomainRunner: domain 1 failed in window"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("injected scenario fault"), std::string::npos) << what;
+  }
+  // The runner object stays usable for inspection after the failure.
+  EXPECT_GT(runner.stats().windows, 0u);
+}
+
+TEST(DomainRunnerTest, SingleDomainExceptionIsWrappedWithDomainZero) {
+  ChainScenario s(/*partitioned=*/false);
+  s.sims[0]->at(100 * kMillisecond, [] { throw std::runtime_error("boom"); });
+  DomainRunner runner(*s.topo, 1);
+  try {
+    runner.run_until(kSecond);
+    FAIL() << "expected the wrapped exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DomainRunner: domain 0 failed:"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
+TEST(DomainRunnerTest, StallWatchdogNamesEveryDomainState) {
+  ChainScenario s(/*partitioned=*/true);
+  DomainRunner runner(*s.topo, 2);
+  // A live chain needs thousands of windows for 2 s; a budget of 1 trips
+  // the watchdog immediately and the diagnostic must carry per-domain state.
+  runner.set_max_windows_for_test(1);
+  try {
+    runner.run_until(2 * kSecond);
+    FAIL() << "expected the stall watchdog";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stall watchdog tripped"), std::string::npos) << what;
+    EXPECT_NE(what.find("[domain 0:"), std::string::npos) << what;
+    EXPECT_NE(what.find("[domain 1:"), std::string::npos) << what;
+  }
+  // Restoring the computed budget lets the same runner finish the run.
+  runner.set_max_windows_for_test(0);
+  runner.run_until(2 * kSecond);
+  EXPECT_EQ(s.sims[0]->now(), 2 * kSecond);
+  EXPECT_EQ(s.sims[1]->now(), 2 * kSecond);
+}
+
 }  // namespace
 }  // namespace pels

@@ -171,6 +171,32 @@ TEST(SweepRunnerTest, RunToTableLeavesTableUntouchedOnFailure) {
   EXPECT_EQ(csv.str(), "x\n") << "failed sweep committed rows";
 }
 
+TEST(SweepRunnerTest, LabeledSweepNamesScenarioRowIndexLabelAndCause) {
+  // The labeled staged-commit path: a mid-batch throwing task must identify
+  // *which* scenario point failed — index, its parameter label, and the
+  // underlying error — while leaving the table untouched.
+  SweepRunner runner(2);
+  TablePrinter table({"x"});
+  std::vector<std::function<SweepOutput()>> tasks;
+  tasks.push_back([] { return SweepOutput{{{"ok0"}}, ""}; });
+  tasks.push_back([]() -> SweepOutput {
+    throw std::invalid_argument("gamma out of range");
+  });
+  tasks.push_back([] { return SweepOutput{{{"ok2"}}, ""}; });
+  SweepOptions options;
+  options.labels = {"rate=1M", "rate=2M,gamma=1.2", "rate=4M"};
+  try {
+    run_sweep_to_table(runner, std::move(tasks), table, options);
+    FAIL() << "a failed point must abort the staged commit";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rate=2M,gamma=1.2"), std::string::npos) << what;
+    EXPECT_NE(what.find("gamma out of range"), std::string::npos) << what;
+  }
+  EXPECT_EQ(table.rows(), 0u) << "mid-batch failure committed the survivors";
+}
+
 // ------------------------------------------------ submission-order buffering
 
 TEST(SweepRunnerTest, RowsAndTextEmitInSubmissionOrder) {

@@ -27,10 +27,22 @@ delivery counts shift whenever scenario behaviour legitimately changes, and
 the per-run telemetry-vs-plain equality is already enforced by the bench
 binary itself.
 
+The chaos harness (--chaos-current, BENCH_chaos.json from bench/chaos_sweep)
+is gated on current-run invariants only — there is no meaningful baseline for
+"zero violations":
+  - campaign.violations == 0 and campaign.task_errors == 0;
+  - shrink_selftest.shrunk_still_violates (the minimized repro must replay)
+    and shrunk_events <= original_events;
+  - parallel_chaos.identical_across_workers (determinism survives faults);
+  - resume.identical_to_uninterrupted and resume.torn_tail_detected;
+  - monitor_overhead.overhead_frac <= --monitor-budget (default 6%; the
+    recorded target is 3%, the gate adds noise margin).
+
 Exit status: 0 = pass, 1 = regression/invariant failure, 2 = bad input.
 
 Usage:
   tools/bench_compare.py --baseline BENCH_pipeline.json --current build/BENCH_pipeline.json
+  tools/bench_compare.py --chaos-current build/BENCH_chaos.json
   tools/bench_compare.py --selftest        # prove the gate trips on a regression
 """
 
@@ -203,6 +215,138 @@ def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: f
     return 1
 
 
+def check_chaos_schema(doc: dict) -> list[str]:
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(f"chaos: schema_version must be 1, got {doc.get('schema_version')!r}")
+    if doc.get("bench") != "chaos_sweep":
+        errors.append(f"chaos: bench must be 'chaos_sweep', got {doc.get('bench')!r}")
+    for section, keys in {
+        "campaign": ["schedules", "violations", "task_errors"],
+        "shrink_selftest": ["original_events", "shrunk_events", "shrunk_still_violates"],
+        "parallel_chaos": ["identical_across_workers"],
+        "monitor_overhead": ["overhead_frac"],
+        "resume": ["identical_to_uninterrupted", "torn_tail_detected"],
+    }.items():
+        sub = doc.get(section)
+        if not isinstance(sub, dict):
+            errors.append(f"chaos: missing section '{section}'")
+            continue
+        for k in keys:
+            if k not in sub:
+                errors.append(f"chaos: missing {section}.{k}")
+    return errors
+
+
+def check_chaos(doc: dict, monitor_budget: float) -> int:
+    """Gate the chaos harness JSON on its own invariants; returns exit code."""
+    errors = check_chaos_schema(doc)
+    if errors:
+        for e in errors:
+            fail(e)
+        return 2
+
+    failures = 0
+    campaign = doc["campaign"]
+    violations = int(campaign["violations"])
+    task_errors = int(campaign["task_errors"])
+    print(
+        f"chaos campaign: {campaign['schedules']} schedules, "
+        f"{violations} violations, {task_errors} task errors"
+    )
+    if violations != 0:
+        fail(f"campaign.violations = {violations}: an invariant broke under a "
+             "randomized fault schedule (repro JSON written by the bench)")
+        failures += 1
+    if task_errors != 0:
+        fail(f"campaign.task_errors = {task_errors}: schedules failed outside the monitor")
+        failures += 1
+
+    st = doc["shrink_selftest"]
+    still = bool(st["shrunk_still_violates"])
+    grew = int(st["shrunk_events"]) > int(st["original_events"])
+    print(
+        f"shrinker selftest: {st['original_events']} -> {st['shrunk_events']} events, "
+        f"minimized repro {'replays' if still else 'DOES NOT replay'}"
+    )
+    if not still:
+        fail("shrink_selftest.shrunk_still_violates is false: the minimized "
+             "plan no longer reproduces its violation")
+        failures += 1
+    if grew:
+        fail(f"shrinker grew the plan ({st['original_events']} -> {st['shrunk_events']} events)")
+        failures += 1
+
+    if not bool(doc["parallel_chaos"]["identical_across_workers"]):
+        fail("parallel_chaos.identical_across_workers is false: fault injection "
+             "broke the DomainRunner determinism contract")
+        failures += 1
+    else:
+        print(f"parallel chaos: {doc['parallel_chaos'].get('schedules', '?')} "
+              "schedules byte-identical across worker counts")
+
+    resume = doc["resume"]
+    if not bool(resume["identical_to_uninterrupted"]):
+        fail("resume.identical_to_uninterrupted is false: a resumed sweep "
+             "produced a different table")
+        failures += 1
+    if not bool(resume["torn_tail_detected"]):
+        fail("resume.torn_tail_detected is false: the journal accepted a torn line")
+        failures += 1
+    if bool(resume["identical_to_uninterrupted"]) and bool(resume["torn_tail_detected"]):
+        print(
+            f"resume: reused {resume.get('reused', '?')}, re-ran "
+            f"{resume.get('executed', '?')}, table byte-identical"
+        )
+
+    overhead = float(doc["monitor_overhead"]["overhead_frac"])
+    noise = doc["monitor_overhead"].get("noise_floor_frac")
+    noise_note = f", noise floor {100 * float(noise):.2f}%" if noise is not None else ""
+    print(
+        f"monitor overhead: {100 * overhead:.2f}% "
+        f"(gate {100 * monitor_budget:.0f}%, recorded target 3%{noise_note})"
+    )
+    if overhead > monitor_budget:
+        fail(
+            f"monitor_overhead.overhead_frac = {overhead:.4f} > {monitor_budget}: "
+            "the invariant monitor slows the pipeline too much"
+        )
+        failures += 1
+
+    if failures == 0:
+        print("bench_compare: chaos PASS")
+        return 0
+    print(f"bench_compare: chaos: {failures} check(s) failed")
+    return 1
+
+
+def chaos_selftest_doc() -> dict:
+    return {
+        "schema_version": 1,
+        "bench": "chaos_sweep",
+        "smoke": False,
+        "campaign": {"schedules": 200, "seed": 1, "violations": 0, "task_errors": 0},
+        "shrink_selftest": {
+            "original_events": 6,
+            "shrunk_events": 1,
+            "probes": 13,
+            "shrunk_still_violates": True,
+        },
+        "parallel_chaos": {"schedules": 8, "identical_across_workers": True},
+        "monitor_overhead": {
+            "overhead_frac": 0.02,
+            "overhead_frac_raw": 0.02,
+            "noise_floor_frac": 0.03,
+        },
+        "resume": {
+            "reused": 5,
+            "executed": 3,
+            "torn_tail_detected": True,
+            "identical_to_uninterrupted": True,
+        },
+    }
+
+
 def selftest() -> int:
     """Prove the gate detects an injected regression (and passes a clean run)."""
     baseline = {
@@ -294,6 +438,46 @@ def selftest() -> int:
         fail("selftest: telemetry overhead not detected")
         return 1
 
+    print("--- selftest: clean chaos run must pass")
+    if check_chaos(chaos_selftest_doc(), 0.06) != 0:
+        fail("selftest: clean chaos run did not pass")
+        return 1
+
+    print("--- selftest: campaign violation must fail")
+    violated = chaos_selftest_doc()
+    violated["campaign"]["violations"] = 1
+    if check_chaos(violated, 0.06) != 1:
+        fail("selftest: campaign violation not detected")
+        return 1
+
+    print("--- selftest: non-replaying shrunk repro must fail")
+    stale = chaos_selftest_doc()
+    stale["shrink_selftest"]["shrunk_still_violates"] = False
+    if check_chaos(stale, 0.06) != 1:
+        fail("selftest: non-replaying repro not detected")
+        return 1
+
+    print("--- selftest: faulted parallel divergence must fail")
+    split = chaos_selftest_doc()
+    split["parallel_chaos"]["identical_across_workers"] = False
+    if check_chaos(split, 0.06) != 1:
+        fail("selftest: parallel chaos divergence not detected")
+        return 1
+
+    print("--- selftest: non-identical resumed table must fail")
+    drifted = chaos_selftest_doc()
+    drifted["resume"]["identical_to_uninterrupted"] = False
+    if check_chaos(drifted, 0.06) != 1:
+        fail("selftest: resume divergence not detected")
+        return 1
+
+    print("--- selftest: monitor overhead blowout must fail")
+    dragging = chaos_selftest_doc()
+    dragging["monitor_overhead"]["overhead_frac"] = 0.15
+    if check_chaos(dragging, 0.06) != 1:
+        fail("selftest: monitor overhead not detected")
+        return 1
+
     print("bench_compare: selftest PASS (all injected regressions detected)")
     return 0
 
@@ -321,15 +505,32 @@ def main() -> int:
         help="minimum sweep speedup at >= 2 effective workers on a multi-core "
         "box (default 0.8; the gate skips when hardware_threads < 2)",
     )
+    ap.add_argument(
+        "--chaos-current",
+        help="freshly produced chaos_sweep JSON (BENCH_chaos.json); gated on "
+        "its own invariants, no baseline needed",
+    )
+    ap.add_argument(
+        "--monitor-budget",
+        type=float,
+        default=0.06,
+        help="max monitor_overhead.overhead_frac in the chaos run (default "
+        "0.06; the recorded target is 0.03)",
+    )
     ap.add_argument("--selftest", action="store_true", help="run the gate self-check")
     args = ap.parse_args()
 
     if args.selftest:
         return selftest()
-    if not args.baseline or not args.current:
-        ap.error("--baseline and --current are required (or use --selftest)")
-    return compare(load(args.baseline), load(args.current), args.tolerance,
-                   args.telemetry_budget, args.min_speedup)
+    if not args.chaos_current and (not args.baseline or not args.current):
+        ap.error("--baseline and --current are required (or --chaos-current, or --selftest)")
+    rc = 0
+    if args.baseline and args.current:
+        rc = compare(load(args.baseline), load(args.current), args.tolerance,
+                     args.telemetry_budget, args.min_speedup)
+    if args.chaos_current:
+        rc = max(rc, check_chaos(load(args.chaos_current), args.monitor_budget))
+    return rc
 
 
 if __name__ == "__main__":

@@ -63,6 +63,10 @@ void* counted_alloc(std::size_t size, std::align_val_t align) {
   }
   throw std::bad_alloc{};
 }
+void* counted_alloc_nothrow(std::size_t size) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
 void counted_free(void* p) noexcept {
   if (p == nullptr) return;
   g_heap_frees.fetch_add(1, std::memory_order_relaxed);
@@ -71,6 +75,18 @@ void counted_free(void* p) noexcept {
 }  // namespace
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
+// The nothrow forms must be replaced alongside the throwing ones: library
+// internals (e.g. std::stable_sort's temporary buffer) allocate via nothrow
+// new but release via sized delete, and a half-replaced set pairs the
+// library's allocator with this file's free (ASan flags the mismatch).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
   return counted_alloc(size, align);

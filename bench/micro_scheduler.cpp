@@ -39,7 +39,7 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 /// Cancel-heavy workload: half the scheduled events are cancelled before the
 /// run, the way pacing/retransmission timers behave. Stresses the cancel
@@ -57,7 +57,7 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SchedulerCancelHeavy)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 /// Timer churn: a rolling window of pending timers where every executed
 /// event cancels one outstanding timer and schedules a replacement — the
@@ -81,6 +81,41 @@ void BM_SchedulerTimerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SchedulerTimerChurn);
+
+/// Two-tier vs heap-only at population scale: steady-state churn (pop one,
+/// schedule a replacement over a ~2 s spread horizon) with `pending` timers
+/// outstanding — the event-queue shape of `pending` paced flows. The spread
+/// matters: same-time workloads collapse into one bucket and measure the
+/// slot pool, not the calendar. Arg 0 is the pending population, arg 1
+/// selects the tier (0 = heap-only, 1 = wheel+heap); compare items_per_second
+/// between the tier variants at equal population (bench/many_flows.cpp runs
+/// the same comparison standalone and gates the ratio in CI).
+void BM_SchedulerChurnTiered(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  const bool wheel = state.range(1) != 0;
+  Scheduler sched;
+  sched.set_wheel_enabled(wheel);
+  sched.reserve(pending);
+  const SimTime horizon = 2 * kSecond;
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ULL + pending;
+  const auto draw = [&lcg, horizon]() -> SimTime {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<SimTime>((lcg >> 33) % static_cast<std::uint64_t>(horizon)) + 1;
+  };
+  for (std::size_t i = 0; i < pending; ++i) sched.schedule_at(draw(), [] {});
+  for (auto _ : state) {
+    sched.step();
+    sched.schedule_in(draw(), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerChurnTiered)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
 
 // ------------------------------------------------------------- WrrQueue
 

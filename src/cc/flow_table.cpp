@@ -1,0 +1,128 @@
+#include "cc/flow_table.h"
+
+#include <cassert>
+
+namespace pels {
+
+FlowTable::FlowTable(MkcConfig mkc, GammaConfig gamma)
+    : mkc_(mkc), gamma_cfg_(gamma) {
+  // Same domain checks as the controllers' constructors; unstable gamma
+  // gains stay allowed on purpose (Figure 5 demonstrates divergence).
+  assert(mkc_.alpha_bps > 0.0);
+  assert(mkc_.beta > 0.0 && mkc_.beta < 2.0 && "MKC is stable only for beta in (0, 2)");
+  assert(mkc_.min_rate_bps > 0.0 && mkc_.min_rate_bps <= mkc_.initial_rate_bps);
+  assert(mkc_.initial_rate_bps <= mkc_.max_rate_bps);
+  assert(gamma_cfg_.p_thr > 0.0 && gamma_cfg_.p_thr <= 1.0);
+  assert(gamma_cfg_.gamma_low >= 0.0 && gamma_cfg_.gamma_low < gamma_cfg_.gamma_high &&
+         gamma_cfg_.gamma_high <= 1.0);
+  assert(gamma_cfg_.initial_gamma >= gamma_cfg_.gamma_low &&
+         gamma_cfg_.initial_gamma <= gamma_cfg_.gamma_high);
+}
+
+void FlowTable::reserve(std::size_t flows) {
+  rate_.reserve(flows);
+  gamma_col_.reserve(flows);
+  paced_rate_.reserve(flows);
+  recovery_left_.reserve(flows);
+  flags_.reserve(flows);
+  mkc_updates_.reserve(flows);
+  silence_ticks_.reserve(flows);
+  gamma_updates_.reserve(flows);
+  staged_loss_.reserve(flows);
+  staged_fgs_loss_.reserve(flows);
+  staged_.reserve(flows);
+  free_slots_.reserve(flows);
+}
+
+FlowSlot FlowTable::add_flow() {
+  return add_flow(mkc_.initial_rate_bps, gamma_cfg_.initial_gamma);
+}
+
+FlowSlot FlowTable::add_flow(double initial_rate_bps, double initial_gamma) {
+  FlowSlot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<FlowSlot>(rate_.size());
+    rate_.emplace_back();
+    gamma_col_.emplace_back();
+    paced_rate_.emplace_back();
+    recovery_left_.emplace_back();
+    flags_.emplace_back();
+    mkc_updates_.emplace_back();
+    silence_ticks_.emplace_back();
+    gamma_updates_.emplace_back();
+    staged_loss_.emplace_back();
+    staged_fgs_loss_.emplace_back();
+    staged_.emplace_back();
+  }
+  rate_[slot] = initial_rate_bps;
+  gamma_col_[slot] = initial_gamma;
+  paced_rate_[slot] = 0.0;
+  recovery_left_[slot] = 0;
+  flags_[slot] = kLive;
+  mkc_updates_[slot] = 0;
+  silence_ticks_[slot] = 0;
+  gamma_updates_[slot] = 0;
+  staged_loss_[slot] = 0.0;
+  staged_fgs_loss_[slot] = 0.0;
+  staged_[slot] = 0;
+  ++live_count_;
+  return slot;
+}
+
+void FlowTable::remove_flow(FlowSlot slot) {
+  assert(is_live(slot) && "remove_flow on a dead or out-of-range slot");
+  flags_[slot] = 0;
+  staged_[slot] = 0;
+  free_slots_.push_back(slot);
+  --live_count_;
+}
+
+void FlowTable::apply_feedback(FlowSlot slot, double p) {
+  assert(is_live(slot));
+  bool silent = (flags_[slot] & kSilent) != 0;
+  mkc_feedback_step(mkc_, p, rate_[slot], silent, recovery_left_[slot],
+                    mkc_updates_[slot]);
+  flags_[slot] = static_cast<std::uint8_t>(silent ? flags_[slot] | kSilent
+                                                  : flags_[slot] & ~kSilent);
+}
+
+void FlowTable::apply_silence(FlowSlot slot) {
+  assert(is_live(slot));
+  bool silent = (flags_[slot] & kSilent) != 0;
+  mkc_silence_step(mkc_, rate_[slot], silent, silence_ticks_[slot]);
+  flags_[slot] = static_cast<std::uint8_t>(silent ? flags_[slot] | kSilent
+                                                  : flags_[slot] & ~kSilent);
+}
+
+double FlowTable::apply_gamma(FlowSlot slot, double p) {
+  assert(is_live(slot));
+  return gamma_update_step(gamma_cfg_, p, gamma_col_[slot], gamma_updates_[slot]);
+}
+
+FlowTable::BatchStats FlowTable::batch_control_tick() {
+  BatchStats out;
+  const std::size_t n = rate_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t st = staged_[i];
+    if (st == 0 || (flags_[i] & kLive) == 0) continue;
+    const auto slot = static_cast<FlowSlot>(i);
+    if ((st & kStageFeedback) != 0) {
+      apply_feedback(slot, staged_loss_[i]);
+      ++out.feedback_applied;
+    } else if ((st & kStageSilence) != 0) {
+      apply_silence(slot);
+      ++out.silences;
+    }
+    if ((st & kStageGamma) != 0) {
+      apply_gamma(slot, staged_fgs_loss_[i]);
+      ++out.gamma_updates;
+    }
+    staged_[i] = 0;
+  }
+  return out;
+}
+
+}  // namespace pels

@@ -1,0 +1,136 @@
+// Structure-of-arrays flow state for population-scale control (ROADMAP
+// "Million-flow scale-out").
+//
+// At N=100k concurrent PELS sources, per-flow controller objects scatter the
+// MKC/gamma/pacing scalars across the heap and every control tick pays N
+// virtual dispatches plus N cache misses. The FlowTable keeps those hot
+// scalars in contiguous parallel columns keyed by a dense FlowSlot, so one
+// control tick batch-updates every staged flow with linear scans.
+//
+// Determinism contract: the single-flow operations (apply_feedback /
+// apply_silence / apply_gamma) and the batch path both call the exact inline
+// kernels MkcController and GammaController use (mkc_feedback_step,
+// mkc_silence_step, gamma_update_step), so table-backed control is
+// bit-for-bit identical to per-object control — verified by
+// tests/flow_table_test.cpp.
+//
+// Slot lifecycle: add_flow() reuses freed slots LIFO (like the scheduler's
+// callback pool); remove_flow() returns the slot. Columns never shrink, so a
+// steady-state add/remove churn allocates nothing. Whoever allocates the
+// slot owns its lifetime — PelsSource and MkcController only borrow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cc/mkc.h"
+#include "video/gamma_controller.h"
+
+namespace pels {
+
+inline constexpr FlowSlot kInvalidFlowSlot = 0xffffffffu;
+
+class FlowTable {
+ public:
+  /// All flows in one table share the MKC and gamma configs (heterogeneous
+  /// populations use several tables or fall back to per-object controllers).
+  FlowTable(MkcConfig mkc, GammaConfig gamma);
+
+  /// Pre-sizes every column (and the free list) for `flows` concurrent
+  /// flows, so steady-state add/remove churn allocates nothing.
+  void reserve(std::size_t flows);
+
+  /// Allocates a slot initialized from the configs (rate =
+  /// mkc.initial_rate_bps, gamma = gamma.initial_gamma).
+  FlowSlot add_flow();
+  /// Allocates a slot with explicit initial rate/gamma (mixed-traffic
+  /// generators start classes at different operating points).
+  FlowSlot add_flow(double initial_rate_bps, double initial_gamma);
+  /// Frees a slot for reuse. Outstanding references to it are invalid.
+  void remove_flow(FlowSlot slot);
+
+  /// Live (allocated) flows.
+  std::size_t size() const { return live_count_; }
+  /// Allocated column length (high-water mark of concurrent flows).
+  std::size_t capacity() const { return rate_.size(); }
+  bool is_live(FlowSlot slot) const {
+    return slot < flags_.size() && (flags_[slot] & kLive) != 0;
+  }
+
+  // --- per-flow hot scalars ---------------------------------------------
+  double rate_bps(FlowSlot slot) const { return rate_[slot]; }
+  double gamma(FlowSlot slot) const { return gamma_col_[slot]; }
+  double paced_rate(FlowSlot slot) const { return paced_rate_[slot]; }
+  void set_paced_rate(FlowSlot slot, double v) { paced_rate_[slot] = v; }
+  /// Mutable pacing-EWMA cell (PelsSource updates it per packet). Invalidated
+  /// by add_flow growth like any vector reference — re-fetch per use.
+  double& paced_rate_ref(FlowSlot slot) { return paced_rate_[slot]; }
+  bool in_silence(FlowSlot slot) const { return (flags_[slot] & kSilent) != 0; }
+  std::uint64_t mkc_updates(FlowSlot slot) const { return mkc_updates_[slot]; }
+  std::uint64_t silence_ticks(FlowSlot slot) const { return silence_ticks_[slot]; }
+  std::uint64_t gamma_updates(FlowSlot slot) const { return gamma_updates_[slot]; }
+
+  // --- single-flow control (table-backed controllers) --------------------
+  void apply_feedback(FlowSlot slot, double p);
+  void apply_silence(FlowSlot slot);
+  double apply_gamma(FlowSlot slot, double p);
+
+  // --- staged batch control (population-scale drivers) -------------------
+  // A control tick stages per-flow inputs (latest wins within a tick), then
+  // batch_control_tick() applies them in slot order with linear scans.
+  // Semantics per flow and tick: staged feedback supersedes staged silence
+  // (a fresh label ends the silence episode, matching the source watchdog);
+  // gamma applies after the rate update, like PelsSource::on_control_clock.
+  void stage_feedback(FlowSlot slot, double p) {
+    staged_loss_[slot] = p;
+    staged_[slot] = static_cast<std::uint8_t>((staged_[slot] & ~kStageSilence) | kStageFeedback);
+  }
+  void stage_silence(FlowSlot slot) {
+    if ((staged_[slot] & kStageFeedback) == 0) staged_[slot] |= kStageSilence;
+  }
+  void stage_gamma(FlowSlot slot, double p_fgs) {
+    staged_fgs_loss_[slot] = p_fgs;
+    staged_[slot] |= kStageGamma;
+  }
+
+  struct BatchStats {
+    std::size_t feedback_applied = 0;
+    std::size_t silences = 0;
+    std::size_t gamma_updates = 0;
+  };
+  /// Applies every staged input and clears the staging columns.
+  BatchStats batch_control_tick();
+
+  const MkcConfig& mkc_config() const { return mkc_; }
+  const GammaConfig& gamma_config() const { return gamma_cfg_; }
+
+ private:
+  static constexpr std::uint8_t kLive = 1u << 0;
+  static constexpr std::uint8_t kSilent = 1u << 1;
+  static constexpr std::uint8_t kStageFeedback = 1u << 0;
+  static constexpr std::uint8_t kStageSilence = 1u << 1;
+  static constexpr std::uint8_t kStageGamma = 1u << 2;
+
+  MkcConfig mkc_;
+  GammaConfig gamma_cfg_;
+
+  // Parallel columns indexed by FlowSlot. Hot control scalars first.
+  std::vector<double> rate_;            // MKC rate (bps)
+  std::vector<double> gamma_col_;       // FGS red fraction
+  std::vector<double> paced_rate_;      // pacing EWMA (PelsSource)
+  std::vector<std::int32_t> recovery_left_;
+  std::vector<std::uint8_t> flags_;     // kLive | kSilent
+  std::vector<std::uint64_t> mkc_updates_;
+  std::vector<std::uint64_t> silence_ticks_;
+  std::vector<std::uint64_t> gamma_updates_;
+  // Staging columns consumed by batch_control_tick().
+  std::vector<double> staged_loss_;
+  std::vector<double> staged_fgs_loss_;
+  std::vector<std::uint8_t> staged_;
+
+  std::vector<FlowSlot> free_slots_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace pels

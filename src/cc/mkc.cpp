@@ -1,7 +1,8 @@
 #include "cc/mkc.h"
 
-#include <algorithm>
 #include <cassert>
+
+#include "cc/flow_table.h"
 
 namespace pels {
 
@@ -12,38 +13,49 @@ MkcController::MkcController(MkcConfig config) : cfg_(config), rate_(config.init
   assert(cfg_.initial_rate_bps <= cfg_.max_rate_bps);
 }
 
+MkcController::MkcController(FlowTable& table, FlowSlot slot)
+    : cfg_(table.mkc_config()), table_(&table), slot_(slot), rate_(cfg_.initial_rate_bps) {
+  assert(table.is_live(slot) && "table-backed controller needs an allocated slot");
+}
+
+double MkcController::rate_bps() const {
+  return table_ != nullptr ? table_->rate_bps(slot_) : rate_;
+}
+
+std::uint64_t MkcController::updates() const {
+  return table_ != nullptr ? table_->mkc_updates(slot_) : updates_;
+}
+
+std::uint64_t MkcController::silence_ticks() const {
+  return table_ != nullptr ? table_->silence_ticks(slot_) : silence_ticks_;
+}
+
+bool MkcController::in_silence() const {
+  return table_ != nullptr ? table_->in_silence(slot_) : silent_;
+}
+
 void MkcController::on_router_feedback(double p, SimTime /*now*/) {
-  // Eq. (8). p < 0 (underutilization) makes the multiplicative term positive,
-  // producing the exponential ramp toward capacity; p > 0 produces the
-  // proportional back-off.
-  double growth_cap = cfg_.max_growth_factor;
-  if (silent_) {
-    silent_ = false;
-    recovery_left_ = cfg_.recovery_updates;
+  if (table_ != nullptr) {
+    table_->apply_feedback(slot_, p);
+    return;
   }
-  if (recovery_left_ > 0) {
-    growth_cap = std::min(growth_cap, cfg_.recovery_growth_factor);
-    --recovery_left_;
+  mkc_feedback_step(cfg_, p, rate_, silent_, recovery_left_, updates_);
+}
+
+void MkcController::on_feedback_silence(SimTime /*now*/) {
+  if (table_ != nullptr) {
+    table_->apply_silence(slot_);
+    return;
   }
-  double next = rate_ + cfg_.alpha_bps - cfg_.beta * rate_ * p;
-  next = std::min(next, rate_ * growth_cap);
-  rate_ = std::clamp(next, cfg_.min_rate_bps, cfg_.max_rate_bps);
-  ++updates_;
+  mkc_silence_step(cfg_, rate_, silent_, silence_ticks_);
 }
 
 void MkcController::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
   CongestionController::register_metrics(registry, prefix);
-  registry.add_probe(prefix + ".mkc_updates", [this] { return static_cast<double>(updates_); });
+  registry.add_probe(prefix + ".mkc_updates", [this] { return static_cast<double>(updates()); });
   registry.add_probe(prefix + ".silence_ticks",
-                     [this] { return static_cast<double>(silence_ticks_); });
-  registry.add_probe(prefix + ".in_silence", [this] { return silent_ ? 1.0 : 0.0; });
-}
-
-void MkcController::on_feedback_silence(SimTime /*now*/) {
-  silent_ = true;
-  ++silence_ticks_;
-  const double floor = std::max(cfg_.min_rate_bps, cfg_.silence_floor_bps);
-  rate_ = std::max(std::min(rate_, floor), rate_ * cfg_.silence_decay);
+                     [this] { return static_cast<double>(silence_ticks()); });
+  registry.add_probe(prefix + ".in_silence", [this] { return in_silence() ? 1.0 : 0.0; });
 }
 
 }  // namespace pels

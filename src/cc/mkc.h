@@ -7,11 +7,22 @@
 // single stationary point r* = C/N + alpha/beta, converges exponentially, is
 // stable for 0 < beta < 2 under arbitrary heterogeneous delays (Lemma 5), and
 // does not penalize long-RTT flows (Lemma 6).
+//
+// The update maps live as free inline kernels (mkc_feedback_step /
+// mkc_silence_step) operating on caller-owned scalars: MkcController applies
+// them to its own members, FlowTable applies the same code to its contiguous
+// columns, so the batch path is bit-for-bit identical to per-object control.
 #pragma once
+
+#include <algorithm>
+#include <cstdint>
 
 #include "cc/controller.h"
 
 namespace pels {
+
+class FlowTable;
+using FlowSlot = std::uint32_t;
 
 struct MkcConfig {
   double alpha_bps = 20e3;    // additive gain per feedback epoch (20 kb/s)
@@ -44,22 +55,60 @@ struct MkcConfig {
   int recovery_updates = 8;
 };
 
+/// One MKC feedback update (eq. (8)) on caller-owned state. p < 0
+/// (underutilization) makes the multiplicative term positive, producing the
+/// exponential ramp toward capacity; p > 0 produces the proportional
+/// back-off. Fresh feedback ends a silence episode and arms the tightened
+/// recovery growth cap.
+inline void mkc_feedback_step(const MkcConfig& cfg, double p, double& rate,
+                              bool& silent, std::int32_t& recovery_left,
+                              std::uint64_t& updates) {
+  double growth_cap = cfg.max_growth_factor;
+  if (silent) {
+    silent = false;
+    recovery_left = cfg.recovery_updates;
+  }
+  if (recovery_left > 0) {
+    growth_cap = std::min(growth_cap, cfg.recovery_growth_factor);
+    --recovery_left;
+  }
+  double next = rate + cfg.alpha_bps - cfg.beta * rate * p;
+  next = std::min(next, rate * growth_cap);
+  rate = std::clamp(next, cfg.min_rate_bps, cfg.max_rate_bps);
+  ++updates;
+}
+
+/// One silence tick: multiplicative decay toward the silence floor while the
+/// source's feedback watchdog fires.
+inline void mkc_silence_step(const MkcConfig& cfg, double& rate, bool& silent,
+                             std::uint64_t& silence_ticks) {
+  silent = true;
+  ++silence_ticks;
+  const double floor = std::max(cfg.min_rate_bps, cfg.silence_floor_bps);
+  rate = std::max(std::min(rate, floor), rate * cfg.silence_decay);
+}
+
 class MkcController : public CongestionController {
  public:
   explicit MkcController(MkcConfig config);
+  /// Table-backed controller: all hot state (rate, silence, recovery) lives
+  /// in `table`'s contiguous columns at `slot`; this object is a thin view
+  /// satisfying the CongestionController interface. The table must outlive
+  /// the controller and the slot must stay allocated.
+  MkcController(FlowTable& table, FlowSlot slot);
 
-  double rate_bps() const override { return rate_; }
+  double rate_bps() const override;
   void on_router_feedback(double p, SimTime now) override;
   void on_feedback_silence(SimTime now) override;
   const char* name() const override { return "MKC"; }
   void register_metrics(MetricsRegistry& registry, const std::string& prefix) override;
 
   /// Number of feedback updates applied (one per fresh epoch).
-  std::uint64_t updates() const { return updates_; }
+  std::uint64_t updates() const;
   /// Number of silence ticks absorbed (rate decays applied).
-  std::uint64_t silence_ticks() const { return silence_ticks_; }
+  std::uint64_t silence_ticks() const;
   /// True between a silence tick and the next fresh feedback.
-  bool in_silence() const { return silent_; }
+  bool in_silence() const;
 
   const MkcConfig& config() const { return cfg_; }
 
@@ -70,11 +119,13 @@ class MkcController : public CongestionController {
 
  private:
   MkcConfig cfg_;
+  FlowTable* table_ = nullptr;  // non-null: state lives in the table columns
+  FlowSlot slot_ = 0;
   double rate_;
   std::uint64_t updates_ = 0;
   std::uint64_t silence_ticks_ = 0;
   bool silent_ = false;
-  int recovery_left_ = 0;
+  std::int32_t recovery_left_ = 0;
 };
 
 }  // namespace pels

@@ -1,0 +1,352 @@
+#include "exp/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "queue/drop_tail.h"
+#include "util/rng.h"
+
+namespace pels {
+
+Fabric::Fabric(FabricConfig cfg) : cfg_(cfg) {
+  const bool multi_domain = cfg_.kind == FabricConfig::Kind::kFatTree && cfg_.domain_per_pod;
+  // Domain 0 hosts the core (and everything, when single-domain); with
+  // domain_per_pod each pod gets its own Simulation. All domains must exist
+  // before any node is added (Topology::add_domain contract).
+  const int domains = multi_domain ? 1 + cfg_.pods : 1;
+  sims_.reserve(static_cast<std::size_t>(domains));
+  for (int d = 0; d < domains; ++d) {
+    sims_.push_back(std::make_unique<Simulation>(cfg_.seed + static_cast<std::uint64_t>(d)));
+  }
+  topo_ = std::make_unique<Topology>(*sims_[0]);
+  for (int d = 1; d < domains; ++d) topo_->add_domain(*sims_[d]);
+
+  switch (cfg_.kind) {
+    case FabricConfig::Kind::kParkingLot:
+      build_parking_lot();
+      break;
+    case FabricConfig::Kind::kFatTree:
+      build_fat_tree();
+      break;
+  }
+  topo_->compute_routes();
+}
+
+Link& Fabric::add_core_link(Node& from, Node& to, SimTime delay) {
+  // The link's events run in the source node's domain, so the queue's
+  // feedback timer must live on that domain's scheduler.
+  Scheduler& sched = sims_[static_cast<std::size_t>(topo_->node_domain(from.id()))]->scheduler();
+  PelsQueue* queue = nullptr;
+  const QueueFactory factory = [this, &sched, &queue](double bw) {
+    PelsQueueConfig qc = cfg_.core_queue;
+    qc.router_id = next_router_id_++;
+    qc.link_bandwidth_bps = bw;
+    auto q = std::make_unique<PelsQueue>(sched, qc);
+    queue = q.get();
+    return q;
+  };
+  Link& link = topo_->add_link(from, to, cfg_.core_bandwidth_bps, delay, factory);
+  core_links_.push_back(&link);
+  core_queues_.push_back(queue);
+  return link;
+}
+
+Link& Fabric::add_edge_link(Node& from, Node& to) {
+  const QueueFactory factory = [this](double) {
+    return std::make_unique<DropTailQueue>(cfg_.edge_queue_limit);
+  };
+  return topo_->add_link(from, to, cfg_.edge_bandwidth_bps, cfg_.edge_delay, factory);
+}
+
+void Fabric::build_parking_lot() {
+  if (cfg_.hops < 1) throw std::invalid_argument("parking lot needs hops >= 1");
+  // Routers R0..R_hops in a chain; host Hi off every router. The forward
+  // direction of each chain link is the bottleneck; the reverse direction
+  // (ACK-sized traffic in real workloads) is a plain FIFO.
+  std::vector<Router*> routers;
+  routers.reserve(static_cast<std::size_t>(cfg_.hops) + 1);
+  for (int i = 0; i <= cfg_.hops; ++i) {
+    const std::string n = std::to_string(i);
+    Router& r = topo_->add_router("R" + n);
+    routers.push_back(&r);
+    Host& h = topo_->add_host("H" + n);
+    hosts_.push_back(&h);
+    add_edge_link(h, r);
+    add_edge_link(r, h);
+  }
+  for (int i = 0; i < cfg_.hops; ++i) {
+    add_core_link(*routers[static_cast<std::size_t>(i)],
+                  *routers[static_cast<std::size_t>(i) + 1], cfg_.core_delay);
+    add_edge_link(*routers[static_cast<std::size_t>(i) + 1],
+                  *routers[static_cast<std::size_t>(i)]);
+  }
+}
+
+void Fabric::build_fat_tree() {
+  if (cfg_.pods < 1 || cfg_.racks_per_pod < 1 || cfg_.hosts_per_rack < 1) {
+    throw std::invalid_argument("fat tree needs pods/racks/hosts >= 1");
+  }
+  const bool multi_domain = cfg_.domain_per_pod;
+  Router& core = topo_->add_router("core", 0);
+  for (int p = 0; p < cfg_.pods; ++p) {
+    const int domain = multi_domain ? 1 + p : 0;
+    const std::string pod_idx = std::to_string(p);
+    const std::string pod = "p" + pod_idx;
+    Router& agg = topo_->add_router(pod + ".agg", domain);
+    // Pod uplink/downlink: the aggregation <-> core tier. The uplink is a
+    // bottleneck; the downlink shares the wire's rate and delay but stays a
+    // plain FIFO (no AQM under study on the return path). Both directions'
+    // core_delay is the cross-domain lookahead when domain_per_pod is set.
+    add_core_link(agg, core, cfg_.core_delay);
+    const QueueFactory downlink = [this](double) {
+      return std::make_unique<DropTailQueue>(cfg_.edge_queue_limit);
+    };
+    topo_->add_link(core, agg, cfg_.core_bandwidth_bps, cfg_.core_delay, downlink);
+    for (int r = 0; r < cfg_.racks_per_pod; ++r) {
+      const std::string rack = pod + ".r" + std::to_string(r);
+      Router& tor = topo_->add_router(rack + ".tor", domain);
+      // Rack uplink (bottleneck) and downlink within the pod's domain.
+      add_core_link(tor, agg, cfg_.core_delay);
+      add_edge_link(agg, tor);
+      for (int h = 0; h < cfg_.hosts_per_rack; ++h) {
+        Host& host = topo_->add_host(rack + ".h" + std::to_string(h), domain);
+        hosts_.push_back(&host);
+        add_edge_link(host, tor);
+        add_edge_link(tor, host);
+      }
+    }
+  }
+}
+
+// --- mixed traffic --------------------------------------------------------
+
+std::vector<FlowSpec> gen_mixed_traffic(const Fabric& fabric, const MixedTrafficConfig& cfg) {
+  const auto n_hosts = static_cast<std::int64_t>(fabric.hosts().size());
+  if (n_hosts < 2) throw std::invalid_argument("gen_mixed_traffic needs >= 2 hosts");
+  Rng rng(cfg.seed, /*stream=*/0x3A10);
+
+  std::vector<FlowSpec> specs;
+  specs.reserve(cfg.video_flows + cfg.mice_flows + cfg.elephant_flows);
+
+  const auto draw_pair = [&](FlowSpec& s) {
+    s.src_host = static_cast<int>(rng.uniform_int(0, n_hosts - 1));
+    s.dst_host = static_cast<int>(rng.uniform_int(0, n_hosts - 2));
+    if (s.dst_host >= s.src_host) ++s.dst_host;  // uniform over hosts != src
+  };
+  const auto draw_start = [&]() -> SimTime {
+    if (cfg.start_window <= 0) return 0;
+    return static_cast<SimTime>(rng.uniform(0.0, static_cast<double>(cfg.start_window)));
+  };
+
+  for (std::size_t i = 0; i < cfg.video_flows; ++i) {
+    FlowSpec s;
+    s.cls = TrafficClass::kVideo;
+    draw_pair(s);
+    s.start = draw_start();
+    s.rate_bps = cfg.video_rate_bps;
+    s.packet_bytes = cfg.packet_bytes;
+    specs.push_back(s);
+  }
+  for (std::size_t i = 0; i < cfg.mice_flows; ++i) {
+    FlowSpec s;
+    s.cls = TrafficClass::kMice;
+    draw_pair(s);
+    s.start = draw_start();
+    s.rate_bps = cfg.mice_rate_bps;
+    s.packet_bytes = cfg.packet_bytes;
+    // Pareto(alpha = 1.5) has mean alpha * xm / (alpha - 1) = 3 * xm.
+    const double xm = static_cast<double>(cfg.mice_mean_bytes) / 3.0;
+    const double bytes = rng.pareto(1.5, xm);
+    s.total_bytes = std::max<std::int64_t>(cfg.packet_bytes, static_cast<std::int64_t>(bytes));
+    specs.push_back(s);
+  }
+  for (std::size_t i = 0; i < cfg.elephant_flows; ++i) {
+    FlowSpec s;
+    s.cls = TrafficClass::kElephant;
+    draw_pair(s);
+    s.start = draw_start();
+    s.rate_bps = cfg.elephant_rate_bps;
+    s.packet_bytes = cfg.packet_bytes;
+    specs.push_back(s);
+  }
+  // Activation order for the driver's cursor; stable keeps the
+  // video/mice/elephant generation order among equal starts.
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
+  return specs;
+}
+
+// --- population-scale driver ----------------------------------------------
+
+namespace {
+
+/// Deterministic per-packet hash in [0, 1): colors are a pure function of
+/// (flow, seq), independent of event interleavings and RNG draw order.
+double packet_hash01(FlowId flow, std::uint64_t seq) {
+  std::uint64_t state = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow)) << 40) ^ seq;
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ManyFlowDriver::ManyFlowDriver(Fabric& fabric, std::vector<FlowSpec> flows,
+                               ManyFlowDriverConfig cfg)
+    : fabric_(fabric), cfg_(cfg), table_(cfg.mkc, cfg.gamma) {
+  if (fabric.domain_count() != 1) {
+    throw std::invalid_argument(
+        "ManyFlowDriver reads every bottleneck meter from one control tick, "
+        "which only respects causality on a single-domain fabric");
+  }
+  table_.reserve(flows.size());
+  flows_.reserve(flows.size());
+  sinks_.reserve(fabric.hosts().size());
+  for (std::size_t h = 0; h < fabric.hosts().size(); ++h) {
+    sinks_.push_back(std::make_unique<CountingSink>());
+  }
+  // Specs must arrive in activation order (gen_mixed_traffic sorts); sort
+  // defensively so hand-built mixes work too.
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& spec = flows[i];
+    FlowRt f;
+    f.spec = spec;
+    f.src = fabric.hosts()[static_cast<std::size_t>(spec.src_host)];
+    f.dst = fabric.hosts()[static_cast<std::size_t>(spec.dst_host)]->id();
+    f.bytes_left = spec.total_bytes > 0 ? spec.total_bytes : -1;
+    // Flow id = index; the destination host multiplexes every flow addressed
+    // to it onto one counting sink.
+    fabric.hosts()[static_cast<std::size_t>(spec.dst_host)]->register_agent(
+        static_cast<FlowId>(i), sinks_[static_cast<std::size_t>(spec.dst_host)].get());
+    flows_.push_back(std::move(f));
+  }
+}
+
+ManyFlowDriver::~ManyFlowDriver() {
+  Scheduler& sched = fabric_.sim().scheduler();
+  if (activation_event_ != 0) sched.cancel(activation_event_);
+  if (control_event_ != 0) sched.cancel(control_event_);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].pace_event != 0) sched.cancel(flows_[i].pace_event);
+    fabric_.hosts()[static_cast<std::size_t>(flows_[i].spec.dst_host)]->unregister_agent(
+        static_cast<FlowId>(i));
+  }
+}
+
+void ManyFlowDriver::start() {
+  assert(!started_ && "start() is one-shot");
+  started_ = true;
+  Simulation& sim = fabric_.sim();
+  if (!flows_.empty()) {
+    const SimTime first = std::max(flows_[0].spec.start, sim.now());
+    activation_event_ = sim.at(first, [this] { activate_due_flows(); });
+  }
+  control_event_ = sim.after(cfg_.control_interval, [this] { on_control_tick(); });
+}
+
+void ManyFlowDriver::activate_due_flows() {
+  activation_event_ = 0;
+  Simulation& sim = fabric_.sim();
+  const SimTime now = sim.now();
+  while (next_to_start_ < flows_.size() && flows_[next_to_start_].spec.start <= now) {
+    const auto i = static_cast<std::uint32_t>(next_to_start_++);
+    FlowRt& f = flows_[i];
+    f.slot = table_.add_flow(f.spec.rate_bps, cfg_.gamma.initial_gamma);
+    f.started = true;
+    send_next(i);
+  }
+  if (next_to_start_ < flows_.size()) {
+    activation_event_ = sim.at(flows_[next_to_start_].spec.start,
+                               [this] { activate_due_flows(); });
+  }
+}
+
+double ManyFlowDriver::pacing_rate(const FlowRt& f) const {
+  if (f.spec.cls != TrafficClass::kVideo) return f.spec.rate_bps;
+  return std::min(table_.rate_bps(f.slot), cfg_.max_rate_factor * f.spec.rate_bps);
+}
+
+void ManyFlowDriver::send_next(std::uint32_t index) {
+  FlowRt& f = flows_[index];
+  f.pace_event = 0;
+
+  Packet pkt;
+  pkt.flow = static_cast<FlowId>(index);
+  pkt.seq = f.next_seq++;
+  pkt.uid = (static_cast<std::uint64_t>(pkt.flow) << 40) | pkt.seq;
+  pkt.size_bytes = f.bytes_left > 0
+                       ? static_cast<std::int32_t>(std::min<std::int64_t>(f.spec.packet_bytes,
+                                                                          f.bytes_left))
+                       : f.spec.packet_bytes;
+  pkt.src = f.src->id();
+  pkt.dst = f.dst;
+  pkt.created_at = fabric_.sim().now();
+  if (f.spec.cls == TrafficClass::kVideo) {
+    // Base layer green, FGS remainder split red/yellow by the flow's
+    // current gamma — decided per packet by a deterministic hash so the
+    // color stream is reproducible whatever the event interleaving.
+    const double u = packet_hash01(pkt.flow, pkt.seq);
+    if (u < cfg_.green_fraction) {
+      pkt.color = Color::kGreen;
+    } else {
+      const double frac = (u - cfg_.green_fraction) / (1.0 - cfg_.green_fraction);
+      pkt.color = frac < table_.gamma(f.slot) ? Color::kRed : Color::kYellow;
+    }
+  } else {
+    pkt.color = Color::kInternet;
+  }
+
+  const std::int32_t size = pkt.size_bytes;
+  f.src->send(std::move(pkt));  // drops count as sent: the cost was paid
+  ++packets_sent_;
+
+  if (f.bytes_left > 0) {
+    f.bytes_left -= size;
+    if (f.bytes_left <= 0) {
+      f.done = true;
+      table_.remove_flow(f.slot);
+      f.slot = kInvalidFlowSlot;
+      return;
+    }
+  }
+  const double rate = pacing_rate(f);
+  const auto gap = static_cast<SimTime>(static_cast<double>(size) * 8.0 / rate * kSecond);
+  f.pace_event = fabric_.sim().after(std::max<SimTime>(gap, 1),
+                                     [this, index] { send_next(index); });
+}
+
+void ManyFlowDriver::on_control_tick() {
+  ++control_ticks_;
+  // The governing bottleneck in the max-min sense of §5.2 is the most
+  // congested one; one scan over the (few) meters serves the whole
+  // population. Meters publish nothing before their first epoch closes.
+  double p = 0.0;
+  double p_fgs = 0.0;
+  bool valid = false;
+  for (std::size_t q = 0; q < fabric_.core_queue_count(); ++q) {
+    const PelsQueue& queue = fabric_.core_queue(q);
+    if (queue.epoch() < 1) continue;
+    if (!valid || queue.current_loss() > p) p = queue.current_loss();
+    if (!valid || queue.current_fgs_loss() > p_fgs) p_fgs = queue.current_fgs_loss();
+    valid = true;
+  }
+  if (valid) {
+    for (const FlowRt& f : flows_) {
+      if (!f.started || f.done || f.spec.cls != TrafficClass::kVideo) continue;
+      table_.stage_feedback(f.slot, p);
+      table_.stage_gamma(f.slot, p_fgs);
+    }
+  }
+  table_.batch_control_tick();
+  control_event_ = fabric_.sim().after(cfg_.control_interval, [this] { on_control_tick(); });
+}
+
+std::uint64_t ManyFlowDriver::packets_received() const {
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks_) total += sink->packets();
+  return total;
+}
+
+}  // namespace pels

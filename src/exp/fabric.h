@@ -1,0 +1,264 @@
+// Multi-bottleneck fabric generator + mixed-traffic driver (ROADMAP
+// "Million-flow scale-out").
+//
+// The dumbbell scenario in src/pels/scenario.h is the paper's topology; this
+// file builds the larger fabrics needed to exercise population-scale control:
+//
+//   * parking-lot chains — N bottleneck routers in a row, a host hanging off
+//     each end and each junction, so long flows cross every bottleneck while
+//     short flows congest only one hop (the classic multi-bottleneck fairness
+//     topology of §5.2's max-min feedback rule);
+//   * fat-tree-ish pod/rack fabrics — hosts under per-rack ToR routers,
+//     racks under a per-pod aggregation router, pods joined by one core
+//     router. Optionally each pod maps onto its own DomainRunner domain
+//     (cross-domain links are the pod uplinks, whose propagation delay is
+//     the conservative lookahead).
+//
+// Every contended (core/uplink) link carries a PelsQueue, so the fabric has
+// one feedback meter per bottleneck; edge links are plain FIFOs.
+//
+// On top of a fabric, gen_mixed_traffic() produces a deterministic flow mix
+// (long-lived video, short mice, bulk elephants — in the spirit of htsim's
+// gen_mixed_traffic/main_mixed drivers), and ManyFlowDriver runs such a mix
+// at populations the per-flow PelsSource machinery was never sized for: one
+// FlowTable holds every flow's control state, per-flow pacing emits colored
+// packets straight onto the source host, and a single shared control tick
+// batch-updates the whole population from the bottleneck queues' published
+// loss (no per-flow ACK path — the driver measures simulator cost per
+// packet, not end-to-end protocol dynamics; bench/many_flows.cpp is the
+// consumer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cc/flow_table.h"
+#include "net/host.h"
+#include "net/topology.h"
+#include "queue/pels_queue.h"
+#include "sim/simulation.h"
+#include "util/time.h"
+
+namespace pels {
+
+struct FabricConfig {
+  enum class Kind {
+    kParkingLot,  // chain of `hops` bottleneck routers
+    kFatTree,     // pods x racks_per_pod x hosts_per_rack under one core
+  };
+  Kind kind = Kind::kParkingLot;
+
+  /// Parking lot: number of bottleneck links in the chain (>= 1). Hosts
+  /// H0..H_hops hang off routers R0..R_hops; a flow H0 -> H_hops crosses
+  /// every bottleneck, Hi -> Hi+1 exactly one.
+  int hops = 3;
+
+  /// Fat tree: geometry. One ToR router per rack, one aggregation router per
+  /// pod, one core router overall. Contended tiers (PELS AQM) are the
+  /// rack -> aggregation and aggregation -> core uplinks.
+  int pods = 2;
+  int racks_per_pod = 2;
+  int hosts_per_rack = 2;
+  /// Map each pod (plus the core) onto its own Simulation domain so
+  /// DomainRunner can execute pods in parallel. The pod uplink delay is the
+  /// lookahead, so it must stay > 0. Single-domain when false.
+  bool domain_per_pod = false;
+
+  double edge_bandwidth_bps = 100e6;  // host <-> ToR, uncontended
+  double core_bandwidth_bps = 20e6;   // the bottleneck tier
+  SimTime edge_delay = from_micros(20);
+  SimTime core_delay = from_millis(2);
+
+  /// Template for every bottleneck queue; router_id and link_bandwidth_bps
+  /// are filled in per link (router ids count up in link creation order).
+  PelsQueueConfig core_queue;
+  std::size_t edge_queue_limit = 256;
+
+  std::uint64_t seed = 1;
+};
+
+/// A built fabric: owns its Simulations (one per domain) and Topology, and
+/// exposes the pieces traffic generators need — the host list, and the
+/// bottleneck links with their PelsQueues.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig cfg);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const FabricConfig& config() const { return cfg_; }
+
+  Topology& topology() { return *topo_; }
+  int domain_count() const { return static_cast<int>(sims_.size()); }
+  Simulation& sim(int domain = 0) { return *sims_[static_cast<std::size_t>(domain)]; }
+
+  /// End hosts in creation order; FlowSpec src/dst index into this.
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  int host_domain(std::size_t host_index) const {
+    return topo_->node_domain(hosts_[host_index]->id());
+  }
+
+  /// Bottleneck links (each carrying a PelsQueue), in creation order.
+  const std::vector<Link*>& core_links() const { return core_links_; }
+  PelsQueue& core_queue(std::size_t i) { return *core_queues_[i]; }
+  std::size_t core_queue_count() const { return core_queues_.size(); }
+
+  /// Pre-sizes every domain's runtime pools for `expected_flows` concurrent
+  /// flows (see Topology::reserve_runtime).
+  void reserve_runtime(std::size_t expected_flows) { topo_->reserve_runtime(expected_flows); }
+
+ private:
+  void build_parking_lot();
+  void build_fat_tree();
+  Link& add_core_link(Node& from, Node& to, SimTime delay);
+  Link& add_edge_link(Node& from, Node& to);
+
+  FabricConfig cfg_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::unique_ptr<Topology> topo_;
+  std::vector<Host*> hosts_;
+  std::vector<Link*> core_links_;
+  std::vector<PelsQueue*> core_queues_;
+  std::int32_t next_router_id_ = 0;
+};
+
+// --- mixed traffic --------------------------------------------------------
+
+enum class TrafficClass {
+  kVideo,     // long-lived, MKC-controlled, PELS-colored
+  kMice,      // short request/response bursts, Internet-colored
+  kElephant,  // long bulk transfers, Internet-colored
+};
+
+struct FlowSpec {
+  TrafficClass cls = TrafficClass::kVideo;
+  int src_host = 0;  // index into Fabric::hosts()
+  int dst_host = 0;
+  SimTime start = 0;
+  double rate_bps = 0;           // initial (video) or fixed (mice/elephant) rate
+  std::int32_t packet_bytes = 1000;
+  std::int64_t total_bytes = 0;  // 0 = unbounded (video/elephants run forever)
+};
+
+struct MixedTrafficConfig {
+  std::size_t video_flows = 16;
+  std::size_t mice_flows = 16;
+  std::size_t elephant_flows = 2;
+  /// Flow starts are spread uniformly over [0, start_window) so the fabric
+  /// does not see a synchronized thundering herd at t = 0.
+  SimTime start_window = from_seconds(1.0);
+  double video_rate_bps = 128e3;   // matches MkcConfig::initial_rate_bps
+  double mice_rate_bps = 400e3;
+  double elephant_rate_bps = 2e6;
+  /// Mice sizes draw from a Pareto (shape 1.5) with this mean — the classic
+  /// heavy-tailed short-transfer model.
+  std::int64_t mice_mean_bytes = 20'000;
+  std::int32_t packet_bytes = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic flow mix over the fabric's hosts: same (fabric geometry,
+/// config, seed) always yields the same specs, in a fixed order (videos,
+/// then mice, then elephants; src != dst per flow). Specs are sorted by
+/// start time with the generation order breaking ties, so drivers can
+/// activate them with a single cursor.
+std::vector<FlowSpec> gen_mixed_traffic(const Fabric& fabric, const MixedTrafficConfig& cfg);
+
+// --- population-scale driver ----------------------------------------------
+
+struct ManyFlowDriverConfig {
+  MkcConfig mkc;
+  GammaConfig gamma;
+  /// Shared control tick period: one batched FlowTable update for the whole
+  /// population (vs. one timer per flow in PelsSource).
+  SimTime control_interval = from_millis(200);
+  /// Fraction of each video flow's packets sent green (the base layer's
+  /// bandwidth share); the FGS remainder splits red/yellow by the flow's
+  /// gamma. Chosen per packet by a deterministic hash of (flow, seq).
+  double green_fraction = 0.25;
+  /// Per-flow rate cap as a multiple of the initial rate. Population-scale
+  /// runs share one bottleneck thousands of ways; without a cap the early
+  /// starters ramp to the whole link and the aggregate event rate explodes
+  /// before feedback reins them in.
+  double max_rate_factor = 3.0;
+};
+
+/// Runs a flow mix over a fabric with population-scale machinery: one
+/// FlowTable slot per flow, one pacing event per flow (self-rescheduling at
+/// the flow's current rate), counting sinks, and a single shared control
+/// tick that stages the bottleneck loss for every live video flow and
+/// batch-applies MKC + gamma in one linear scan.
+///
+/// Single-domain only: the shared control tick reads every core queue's
+/// meter directly, which would break the conservative-lookahead contract
+/// across domains (multi-domain fabrics are for DomainRunner experiments,
+/// not this driver). The constructor throws on a multi-domain fabric.
+class ManyFlowDriver {
+ public:
+  ManyFlowDriver(Fabric& fabric, std::vector<FlowSpec> flows, ManyFlowDriverConfig cfg);
+  ~ManyFlowDriver();
+
+  ManyFlowDriver(const ManyFlowDriver&) = delete;
+  ManyFlowDriver& operator=(const ManyFlowDriver&) = delete;
+
+  /// Starts the flow-activation cursor and the shared control tick.
+  void start();
+  void run_until(SimTime t_end) { fabric_.sim().run_until(t_end); }
+
+  std::size_t flow_count() const { return flows_.size(); }
+  std::size_t live_flows() const { return table_.size(); }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const;
+  std::uint64_t control_ticks() const { return control_ticks_; }
+  FlowTable& flow_table() { return table_; }
+  double flow_rate_bps(std::size_t i) const { return table_.rate_bps(flows_[i].slot); }
+  bool flow_done(std::size_t i) const { return flows_[i].done; }
+
+ private:
+  /// Per-host sink counting deliveries for every flow addressed to the host.
+  class CountingSink : public Agent {
+   public:
+    void on_packet(const Packet& pkt) override {
+      ++packets_;
+      bytes_ += pkt.size_bytes;
+    }
+    std::uint64_t packets() const { return packets_; }
+
+   private:
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+  };
+
+  struct FlowRt {
+    FlowSpec spec;
+    FlowSlot slot = kInvalidFlowSlot;
+    Host* src = nullptr;
+    NodeId dst = -1;
+    std::uint64_t next_seq = 0;
+    std::int64_t bytes_left = 0;  // < 0 = unbounded
+    EventId pace_event = 0;       // the flow's single self-rescheduling send
+    bool started = false;
+    bool done = false;
+  };
+
+  void activate_due_flows();
+  void send_next(std::uint32_t index);
+  void on_control_tick();
+  double pacing_rate(const FlowRt& f) const;
+
+  Fabric& fabric_;
+  ManyFlowDriverConfig cfg_;
+  FlowTable table_;
+  std::vector<FlowRt> flows_;       // sorted by spec.start (gen_mixed_traffic order)
+  std::size_t next_to_start_ = 0;   // activation cursor into flows_
+  std::vector<std::unique_ptr<CountingSink>> sinks_;  // one per fabric host
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t control_ticks_ = 0;
+  EventId activation_event_ = 0;
+  EventId control_event_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pels

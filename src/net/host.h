@@ -31,6 +31,11 @@ class Host : public Node {
   void register_agent(FlowId flow, Agent* agent);
   void unregister_agent(FlowId flow);
 
+  /// Pre-sizes the flow -> agent map for `flows` registrations, so
+  /// population-scale setups (100k flows multiplexed onto one sink host) do
+  /// not rehash dozens of times while registering.
+  void reserve_agents(std::size_t flows) { agents_.reserve(flows); }
+
   /// Sends a packet toward pkt.dst via the routing table.
   /// Returns false if no route exists or the first queue dropped the packet.
   bool send(Packet pkt);

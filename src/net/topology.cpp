@@ -80,10 +80,17 @@ void Topology::reserve_runtime(std::size_t expected_flows) {
   // One coalesced pipeline event per link, one pacing/feedback timer pair
   // per flow, plus slack for scenario samplers and fault injectors: a
   // generous constant factor costs a few KB once, and warm-up then never
-  // grows the scheduler's heap or slot pool mid-run (Scheduler::Stats
-  // heap_capacity/slot_capacity let tests assert that).
+  // grows the scheduler's pools mid-run — heap, slot pool, run buffer, AND
+  // wheel buckets (Scheduler::reserve distributes the estimate across the
+  // calendar tiers; the Scheduler::Stats *_capacity probes let benches
+  // assert zero growth, see bench/many_flows.cpp).
   const std::size_t events = 16 + 2 * links_.size() + 4 * expected_flows;
   for (Simulation* sim : domain_sims_) sim->scheduler().reserve(events);
+  // Population-scale runs multiplex many flows onto few hosts; pre-size the
+  // per-host agent maps so registration does not rehash its way up.
+  for (auto& node : nodes_) {
+    if (auto* h = dynamic_cast<Host*>(node.get())) h->reserve_agents(expected_flows);
+  }
   for (auto& link : links_) {
     // Bandwidth-delay product in packets, assuming ~1000-byte packets: the
     // deepest the in-flight ring can get in steady state.

@@ -66,10 +66,10 @@ void PelsSource::on_frame_clock() {
     const std::int64_t frame_cap = cap >= 0 ? cap : cfg_.video.max_fgs_bytes();
     const auto alloc = allocator.allocate(next_frame_, window, std::max<std::int64_t>(total, 0),
                                           frame_cap);
-    plan = plan_frame_bytes(cfg_.video, next_frame_, alloc[0], gamma_.gamma(),
+    plan = plan_frame_bytes(cfg_.video, next_frame_, alloc[0], gamma(),
                             cfg_.partition);
   } else {
-    plan = plan_frame(cfg_.video, next_frame_, controller_->rate_bps(), gamma_.gamma(),
+    plan = plan_frame(cfg_.video, next_frame_, controller_->rate_bps(), gamma(),
                       cfg_.partition, cap);
   }
   ++next_frame_;
@@ -99,8 +99,11 @@ void PelsSource::pace_next() {
   // hundred packets — slow enough to filter epoch noise, fast enough to
   // track joins and back-offs.
   const double rate = std::max(controller_->rate_bps(), 1.0);
-  paced_rate_ = paced_rate_ <= 0.0 ? rate : 0.98 * paced_rate_ + 0.02 * rate;
-  const SimTime spacing = transmission_time(pkt.size_bytes, paced_rate_);
+  double& paced = cfg_.flow_table != nullptr
+                      ? cfg_.flow_table->paced_rate_ref(cfg_.flow_slot)
+                      : paced_rate_;
+  paced = paced <= 0.0 ? rate : 0.98 * paced + 0.02 * rate;
+  const SimTime spacing = transmission_time(pkt.size_bytes, paced);
   transmit(std::move(pkt));
   pace_event_ = sim_.after(spacing, [this] { pace_next(); });
 }
@@ -227,8 +230,14 @@ void PelsSource::on_control_clock() {
   // the sends they must be matched against and the estimate limit-cycles.
   // While feedback is silent gamma freezes: iterating eq. (4) on a stale
   // sample just walks gamma away from any real operating point.
-  if (cfg_.partition && !silent_)
-    gamma_.update(std::clamp(latest_router_fgs_loss_, 0.0, 1.0));
+  if (cfg_.partition && !silent_) {
+    const double p = std::clamp(latest_router_fgs_loss_, 0.0, 1.0);
+    if (cfg_.flow_table != nullptr) {
+      cfg_.flow_table->apply_gamma(cfg_.flow_slot, p);
+    } else {
+      gamma_.update(p);
+    }
+  }
 
   // Receiver-measured FGS loss over the last control interval (sent counter
   // aligned one smoothed RTT back so in-flight packets are not counted as
@@ -259,13 +268,23 @@ void PelsSource::on_control_clock() {
   }
 
   rate_series_.add(sim_.now(), controller_->rate_bps());
-  gamma_series_.add(sim_.now(), gamma_.gamma());
+  gamma_series_.add(sim_.now(), gamma());
   loss_series_.add(sim_.now(), last_measured_loss_);
 }
 
 void PelsSource::register_metrics(MetricsRegistry& registry, const std::string& prefix) {
   controller_->register_metrics(registry, prefix);
-  if (cfg_.partition) gamma_.register_metrics(registry, prefix);
+  if (cfg_.partition) {
+    if (cfg_.flow_table != nullptr) {
+      // Table-backed gamma: probe the columns, not the idle member object.
+      registry.add_probe(prefix + ".gamma", [this] { return gamma(); });
+      registry.add_probe(prefix + ".gamma_updates", [this] {
+        return static_cast<double>(cfg_.flow_table->gamma_updates(cfg_.flow_slot));
+      });
+    } else {
+      gamma_.register_metrics(registry, prefix);
+    }
+  }
   registry.add_probe(prefix + ".measured_loss", [this] { return last_measured_loss_; });
   registry.add_probe(prefix + ".router_fgs_loss", [this] { return latest_router_fgs_loss_; });
   registry.add_probe(prefix + ".feedback_silent", [this] { return silent_ ? 1.0 : 0.0; });

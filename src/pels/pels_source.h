@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cc/controller.h"
+#include "cc/flow_table.h"
 #include "net/host.h"
 #include "net/tcm.h"
 #include "sim/simulation.h"
@@ -35,6 +36,14 @@ namespace pels {
 struct PelsSourceConfig {
   VideoConfig video;
   GammaConfig gamma;
+  /// Structure-of-arrays backing for the flow's hot control scalars (gamma,
+  /// pacing EWMA): when set, this source reads/writes table columns at
+  /// `flow_slot` instead of its own members, so population-scale scenarios
+  /// keep per-flow state contiguous (see cc/flow_table.h). The slot is
+  /// borrowed — whoever allocated it owns its lifetime. The table's
+  /// GammaConfig must match `gamma` (same control law for either backing).
+  FlowTable* flow_table = nullptr;
+  FlowSlot flow_slot = kInvalidFlowSlot;
   /// Control interval for loss measurement + gamma updates (interval k of
   /// eq. (4)); independent of the router's feedback interval T.
   SimTime control_interval = from_millis(200);
@@ -83,7 +92,10 @@ class PelsSource : public Agent {
 
   // --- observable state -------------------------------------------------
   double rate_bps() const { return controller_->rate_bps(); }
-  double gamma() const { return gamma_.gamma(); }
+  double gamma() const {
+    return cfg_.flow_table != nullptr ? cfg_.flow_table->gamma(cfg_.flow_slot)
+                                      : gamma_.gamma();
+  }
   double measured_loss() const { return last_measured_loss_; }
   /// Router id of the most recently consumed feedback label (-1 before any).
   /// Noisy on multi-bottleneck paths (per-epoch loss estimates jitter, so the

@@ -70,6 +70,9 @@ std::vector<SimTime> staircase_starts(int flows, int per_step, SimTime step) {
 DumbbellScenario::DumbbellScenario(ScenarioConfig config)
     : cfg_(std::move(config)), sim_(cfg_.seed), topo_(sim_), rd_(cfg_.rd) {
   cfg_.validate();
+  // Before any event is scheduled, so a heap-only baseline run really is
+  // heap-only from the first timer onward.
+  sim_.scheduler().set_wheel_enabled(cfg_.scheduler_wheel);
 
   Router& r1 = topo_.add_router("R1");
   Router& r2 = topo_.add_router("R2");
@@ -142,6 +145,17 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
   src_cfg.partition = cfg_.bottleneck == BottleneckKind::kPels;
   if (cfg_.rd_aware_scaling) src_cfg.rd_scaling = &rd_;
 
+  // Default MKC flows share a structure-of-arrays FlowTable: controller and
+  // gamma/pacing scalars live in contiguous columns (storage-only — the
+  // table applies the same kernels, so dynamics are bit-for-bit identical).
+  // Custom (make_controller) and REM flows keep per-object state.
+  const bool table_backed = cfg_.use_flow_table && !cfg_.make_controller &&
+                            cfg_.bottleneck != BottleneckKind::kRem;
+  if (table_backed) {
+    flow_table_ = std::make_unique<FlowTable>(cfg_.mkc, src_cfg.gamma);
+    flow_table_->reserve(static_cast<std::size_t>(cfg_.pels_flows));
+  }
+
   for (int i = 0; i < cfg_.pels_flows; ++i) {
     Host& src_host = topo_.add_host("src" + std::to_string(i));
     Host& dst_host = topo_.add_host("dst" + std::to_string(i));
@@ -154,6 +168,11 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
     } else if (cfg_.bottleneck == BottleneckKind::kRem) {
       // The REM bottleneck signals through marks, not feedback labels.
       controller = std::make_unique<RemController>(cfg_.rem);
+    } else if (table_backed) {
+      const FlowSlot slot = flow_table_->add_flow();
+      src_cfg.flow_table = flow_table_.get();
+      src_cfg.flow_slot = slot;
+      controller = std::make_unique<MkcController>(*flow_table_, slot);
     } else {
       controller = std::make_unique<MkcController>(cfg_.mkc);
     }

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "cc/flow_table.h"
 #include "cc/mkc.h"
 #include "cc/rem_controller.h"
 #include "cc/tcp_like.h"
@@ -82,6 +83,20 @@ struct ScenarioConfig {
 
   SimTime sample_interval = kSecond;  // per-colour loss sampling
   std::uint64_t seed = 1;
+
+  /// Scheduler calendar tier (see DESIGN.md "Event model"): false pins the
+  /// scenario's scheduler to the heap-only baseline. The two produce
+  /// byte-identical runs (verified by tests/scheduler_wheel_test.cpp); the
+  /// switch exists for that regression test and for A/B benching.
+  bool scheduler_wheel = true;
+
+  /// Structure-of-arrays flow state (see cc/flow_table.h): default-built
+  /// flows (no make_controller, non-REM bottleneck) allocate a slot in a
+  /// shared FlowTable and their MkcController/gamma/pacing scalars live in
+  /// its columns. Storage-only change — dynamics are bit-for-bit identical
+  /// to per-object controllers (tests/flow_table_test.cpp). Off = every
+  /// flow keeps private controller state.
+  bool use_flow_table = true;
 
   /// Declarative telemetry switch (see DESIGN.md "Telemetry"): when enabled,
   /// the scenario builds a MetricsRegistry, registers every instrumented
@@ -156,6 +171,10 @@ class DumbbellScenario {
   const RdModel& rd_model() const { return rd_; }
   const ScenarioConfig& config() const { return cfg_; }
 
+  /// Shared SoA flow state; null when config().use_flow_table is false or
+  /// the flows use custom/REM controllers.
+  FlowTable* flow_table() { return flow_table_.get(); }
+
   /// Telemetry views; null unless config().telemetry.enabled. The registry
   /// holds every instrument registered at construction (prefixes:
   /// "bottleneck", "bottleneck.link", "flowN", "sinkN"); the sampler snapshots
@@ -179,6 +198,7 @@ class DumbbellScenario {
   Simulation sim_;
   Topology topo_;
   RdModel rd_;
+  std::unique_ptr<FlowTable> flow_table_;
 
   PelsQueue* pels_queue_ = nullptr;
   BestEffortQueue* best_effort_queue_ = nullptr;

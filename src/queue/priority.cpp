@@ -9,7 +9,12 @@ StrictPriorityQueue::StrictPriorityQueue(std::vector<std::size_t> band_limits,
     : limits_(std::move(band_limits)), classify_(std::move(classify)), bands_(limits_.size()) {
   assert(!limits_.empty());
   assert(classify_ != nullptr);
-  for (std::size_t lim : limits_) assert(lim > 0);
+  for (std::size_t i = 0; i < limits_.size(); ++i) {
+    assert(limits_[i] > 0);
+    // Limits are enforced on enqueue, so a band reserved to its limit never
+    // grows again: the queue is allocation-free after construction.
+    bands_[i].reserve(limits_[i]);
+  }
 }
 
 bool StrictPriorityQueue::enqueue(Packet pkt) {

@@ -1,25 +1,42 @@
 // Discrete-event scheduler: the heart of the simulator.
 //
-// Events are (time, callback) pairs kept in a binary min-heap. Ties in time
-// are broken by insertion order, so execution is fully deterministic.
+// Events live in a two-tier queue. A hierarchical timing wheel (calendar
+// tier) absorbs the dense near-future load produced by per-source pacing and
+// periodic control timers; a 4-ary min-heap holds sparse/far events beyond
+// the wheel's horizon. Ties in time break by insertion order across both
+// tiers, so execution is fully deterministic and byte-identical to a
+// heap-only scheduler (see DESIGN.md "Event model").
 //
 // Hot-path design (this is the inner loop under every figure/ablation
 // binary, so the layout matters):
-//   * Heap entries are small PODs {time, seq, slot, generation} in a 4-ary
-//     min-heap; the callbacks live in a pooled slot vector so sift
-//     operations never move a callback.
+//   * Queue entries are small PODs {time, seq, slot, generation}; the
+//     callbacks live in a pooled slot vector so neither heap sifts nor wheel
+//     cascades ever move a callback.
+//   * The wheel has 3 levels x 256 buckets at 2^17 ns (131 us) level-0
+//     granularity: spans of ~33.6 ms / 8.6 s / 36.7 min. Scheduling into the
+//     wheel is O(1) (level by XOR of level-0 bucket indices against the
+//     drain frontier); events beyond the span, or inside the bucket
+//     currently being drained, fall back to the heap. A level-0 bucket is
+//     drained by sorting it once into a run buffer; higher-level buckets
+//     cascade downward as the frontier reaches them. Per-level occupancy
+//     bitmaps make "find the earliest non-empty bucket" four ctz scans.
 //   * Callbacks are fixed-capacity InplaceFunctions, not std::functions:
 //     packet-carrying captures (112-byte Packet moves) stay inside the slot
 //     instead of costing a heap allocation per event.
 //   * Cancellation is generation-tagged: an EventId packs (slot, generation)
-//     and cancel() just bumps the slot's generation — O(1), no hash lookups.
-//     A stale heap entry (generation mismatch) is skipped when it reaches
-//     the top. Executed slots also bump the generation, so an old id can
-//     never cancel a later event that happens to reuse its slot.
-//   * Slots and heap storage are recycled via free lists / reserve(), so the
-//     steady state allocates nothing per event.
+//     and cancel() just bumps the slot's generation — O(1) in both tiers
+//     (wheel residents additionally flip the slot's residency flag and drop
+//     the global wheel live count; the dead entry rides any cascades and is
+//     purged when its level-0 bucket is drained). A stale entry (generation
+//     mismatch) is skipped when it reaches the front. Executed slots also
+//     bump the generation, so an old id can never cancel a later event that
+//     happens to reuse its slot.
+//   * Slots, heap storage, wheel buckets, and the run buffer are recycled
+//     via free lists / reserve() / clear-not-shrink, so the steady state
+//     allocates nothing per event.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -48,17 +65,24 @@ class Scheduler {
   using Callback = InplaceFunction<void(), kSchedulerCallbackCapacity>;
 
   /// Counters for diagnostics and microbenches. `executed`/`cancelled`/
-  /// `stale_skipped` are lifetime totals; the rest describe current state.
+  /// `stale_skipped`/`bucket_loads`/`cascades` are lifetime totals; the rest
+  /// describe current state.
   struct Stats {
     std::uint64_t scheduled = 0;      // schedule_at/in calls
     std::uint64_t executed = 0;       // callbacks run
     std::uint64_t cancelled = 0;      // successful cancel() calls
-    std::uint64_t stale_skipped = 0;  // cancelled heap entries dropped at pop
+    std::uint64_t stale_skipped = 0;  // cancelled entries dropped at drain
+    std::uint64_t bucket_loads = 0;   // level-0 buckets sorted into the run
+    std::uint64_t cascades = 0;       // higher-level buckets re-placed down
     std::size_t pending = 0;          // live events awaiting execution
     std::size_t heap_size = 0;        // heap entries incl. stale ones
+    std::size_t wheel_entries = 0;    // live events in wheel buckets or the run
+    std::size_t run_entries = 0;      // events staged in the sorted run
     std::size_t slots = 0;            // pooled callback slots allocated
     std::size_t heap_capacity = 0;    // heap vector capacity (growth probe)
     std::size_t slot_capacity = 0;    // slot pool capacity (growth probe)
+    std::size_t wheel_capacity = 0;   // sum of bucket capacities (growth probe)
+    std::size_t run_capacity = 0;     // run buffer capacity (growth probe)
   };
 
   /// Current simulation time. Starts at 0.
@@ -80,8 +104,15 @@ class Scheduler {
     }
     Slot& s = slots_[slot];
     s.fn = std::move(fn);
-    heap_.push_back(Entry{t, next_seq_++, slot, s.gen});
-    sift_up(heap_.size() - 1);
+    const Entry e{t, next_seq_++, slot, s.gen};
+    if (wheel_enabled_ && place_in_wheel(e, frontier_idx0())) {
+      s.where = kInWheel;
+      ++wheel_live_;
+    } else {
+      s.where = kNotInWheel;
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    }
     ++pending_;
     return pack(slot, s.gen);
   }
@@ -100,8 +131,14 @@ class Scheduler {
     // A generation mismatch means the event already executed, was already
     // cancelled, or the slot has been reused by a newer event: all no-ops.
     if (s.gen != gen) return false;
-    // Bumping the generation is the cancellation; the stale heap entry is
-    // skipped when it reaches the top. Skip generation 0 so ids are never 0.
+    // Bumping the generation is the cancellation; the stale entry is skipped
+    // (heap/run) or purged at bucket drain (wheel). Skip generation 0 so ids
+    // are never 0. Wheel residents drop the global live count here so an
+    // all-cancelled wheel never blocks the "wheel empty" fast path.
+    if (s.where != kNotInWheel) {
+      --wheel_live_;
+      s.where = kNotInWheel;
+    }
     if (++s.gen == 0) s.gen = 1;
     s.fn = nullptr;
     free_slots_.push_back(slot);
@@ -125,11 +162,11 @@ class Scheduler {
   void run_until(SimTime t_end);
 
   /// Timestamp of the earliest pending (non-cancelled) event, or kTimeNever
-  /// when none remain. Prunes stale heap entries encountered at the top —
-  /// the same lazy sweep run_until performs — so the answer reflects live
-  /// events only. This is the lookahead-window hook: DomainRunner sizes the
-  /// next synchronization window from the minimum across all domain
-  /// schedulers, letting idle stretches be skipped in one hop instead of
+  /// when none remain. Prunes stale entries encountered at the front — the
+  /// same lazy sweep run_until performs — so the answer reflects live events
+  /// only. This is the lookahead-window hook: DomainRunner sizes the next
+  /// synchronization window from the minimum across all domain schedulers,
+  /// letting idle stretches be skipped in one hop instead of
   /// barrier-stepping through empty windows.
   SimTime peek_next_time();
 
@@ -139,6 +176,13 @@ class Scheduler {
   /// Total number of events executed so far (for diagnostics/microbenches).
   std::uint64_t executed() const { return executed_; }
 
+  /// Routes all future schedule_at calls to the heap when disabled (events
+  /// already resident in the wheel drain normally). The wheel is on by
+  /// default; the off switch exists so benches and determinism tests can
+  /// measure a heap-only baseline against the exact same workload.
+  void set_wheel_enabled(bool enabled) { wheel_enabled_ = enabled; }
+  bool wheel_enabled() const { return wheel_enabled_; }
+
   /// Snapshot of scheduler counters.
   Stats stats() const {
     Stats s;
@@ -146,24 +190,50 @@ class Scheduler {
     s.executed = executed_;
     s.cancelled = cancelled_;
     s.stale_skipped = stale_skipped_;
+    s.bucket_loads = bucket_loads_;
+    s.cascades = cascades_;
     s.pending = pending_;
     s.heap_size = heap_.size();
+    s.wheel_entries = wheel_live_;
+    s.run_entries = run_.size() - run_pos_;
     s.slots = slots_.size();
     s.heap_capacity = heap_.capacity();
     s.slot_capacity = slots_.capacity();
+    for (const WheelLevel& level : wheel_)
+      for (const Bucket& b : level.buckets) s.wheel_capacity += b.entries.capacity();
+    // cascade() swaps bucket storage through the scratch buffer, so the
+    // scratch counts toward the pooled wheel capacity (otherwise a swap
+    // reads as spurious growth/shrink on the probe).
+    s.wheel_capacity += cascade_buf_.capacity() + spare_.capacity();
+    s.run_capacity = run_.capacity();
     return s;
   }
 
-  /// Pre-sizes the heap and slot pool for `events` concurrent events.
+  /// Pre-sizes the heap, slot pool, run buffer, and wheel buckets for
+  /// `events` concurrent events, so a warm simulation never grows a pool
+  /// mid-run (the Stats *_capacity probes let benches assert that).
   void reserve(std::size_t events) {
     heap_.reserve(events);
     slots_.reserve(events);
     free_slots_.reserve(events);
+    // The run buffer holds one drained level-0 bucket: worst case every
+    // pending event shares a bucket, so size it like the heap.
+    run_.reserve(events);
+    // Wheel buckets: assume the pending population spreads evenly across a
+    // level's 256 buckets, with slack for skew. Buckets are cleared-not-
+    // shrunk, so this is a one-time cost (~24 bytes per reserved entry per
+    // level) that warmup would otherwise pay in on-demand doublings.
+    const std::size_t per_bucket = events / kWheelBuckets + 4;
+    for (WheelLevel& level : wheel_) {
+      for (Bucket& b : level.buckets) b.entries.reserve(per_bucket);
+    }
+    cascade_buf_.reserve(per_bucket * 8);
   }
 
  private:
-  /// POD heap entry; the callback lives in slots_[slot]. 24 bytes, cheap to
-  /// sift. `gen` must match the slot's generation or the entry is stale.
+  /// POD queue entry; the callback lives in slots_[slot]. 24 bytes, cheap to
+  /// sift or cascade. `gen` must match the slot's generation or the entry is
+  /// stale.
   struct Entry {
     SimTime t;
     std::uint64_t seq;  // tie-break: FIFO among equal times
@@ -181,16 +251,129 @@ class Scheduler {
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
+  // Timing-wheel geometry. Level-0 buckets are 2^17 ns = 131.072 us wide —
+  // finer than any pacing interval worth wheeling (a 100 Mbps source paces
+  // ~80 us apart and such micro-gaps belong on the heap anyway), coarse
+  // enough that one bucket rarely holds more than a handful of events at
+  // paper scale. Spans: L0 33.6 ms, L1 8.6 s, L2 36.7 min; beyond that the
+  // heap is the far tier.
+  static constexpr int kWheelLevels = 3;
+  static constexpr int kWheelBits = 8;
+  static constexpr std::size_t kWheelBuckets = std::size_t{1} << kWheelBits;
+  static constexpr int kWheelShift = 17;  // log2(level-0 bucket width in ns)
+  static constexpr std::uint32_t kNotInWheel = 0xffffffffu;
+  static constexpr std::uint32_t kInWheel = 0;
+
+  struct Bucket {
+    std::vector<Entry> entries;  // may hold stale entries; purged at drain
+  };
+  struct WheelLevel {
+    std::array<Bucket, kWheelBuckets> buckets;
+    // One bit per bucket that has entries (live or stale) awaiting drain.
+    std::array<std::uint64_t, kWheelBuckets / 64> occupancy{};
+  };
+
   /// Pooled callback storage. The generation advances on every execution or
-  /// cancellation, invalidating outstanding ids/heap entries for the slot.
+  /// cancellation, invalidating outstanding ids/queue entries for the slot.
+  /// `where` is a residency flag (kInWheel / kNotInWheel) so cancel() can
+  /// keep the global wheel live count exact in O(1). Deliberately not a
+  /// bucket backref: cascades move entries between buckets without touching
+  /// the slot table, which keeps the re-place loop free of random-access
+  /// slot traffic (the dominant cost at 10^5..10^6 pending timers). The flag
+  /// stays set while an entry is staged in the run buffer and settles at
+  /// execution or cancellation — the two places that dirty the line anyway —
+  /// so the level-0 purge reads slots without writing them back.
   struct Slot {
     Callback fn;
     std::uint32_t gen = 1;
+    std::uint32_t where = kNotInWheel;
   };
 
   static EventId pack(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(slot) << 32) | gen;
   }
+
+  /// Level-0 bucket index of an absolute time.
+  static std::uint64_t bucket_index0(SimTime t) {
+    return static_cast<std::uint64_t>(t) >> kWheelShift;
+  }
+
+  /// The drain frontier: the first level-0 bucket index that has not been
+  /// drained yet. Everything scheduled before it belongs on the heap (the
+  /// run buffer for the drained bucket is already sorted and merged against
+  /// the heap by (t, seq), so late arrivals into the drained window stay
+  /// correctly ordered).
+  std::uint64_t frontier_idx0() const {
+    const std::uint64_t by_now = bucket_index0(now_);
+    const auto by_drain = static_cast<std::uint64_t>(run_bucket_ + 1);
+    return by_now > by_drain ? by_now : by_drain;
+  }
+
+  /// Places `e` into the wheel if it lands within the span; returns false
+  /// when the event belongs on the heap (past the frontier's bucket, or
+  /// beyond the wheel horizon). The level is picked by XOR of level-0 bucket
+  /// indices against the frontier, which confines each level's placements to
+  /// the frontier's aligned 256-block — so the physical index
+  /// (t >> shift) & 255 can never collide with a later wrap of the same
+  /// bucket, and a cascaded bucket always re-places strictly below its own
+  /// level. Touches only the bucket, never slots_: the caller owns the
+  /// slot-side bookkeeping (schedule_at marks residency; cascade() re-places
+  /// entries whose slots are already marked, stale ones included). `f0` is
+  /// the caller's frontier_idx0() — hoisted to a parameter so cascade(),
+  /// whose frontier is fixed for the whole re-place loop, computes it once.
+  bool place_in_wheel(const Entry& e, std::uint64_t f0) {
+    const std::uint64_t idx0 = bucket_index0(e.t);
+    if (idx0 < f0) return false;
+    const std::uint64_t diff = idx0 ^ f0;
+    int level;
+    if (diff < (std::uint64_t{1} << kWheelBits)) {
+      level = 0;
+    } else if (diff < (std::uint64_t{1} << (2 * kWheelBits))) {
+      level = 1;
+    } else if (diff < (std::uint64_t{1} << (3 * kWheelBits))) {
+      level = 2;
+    } else {
+      return false;
+    }
+    const auto pos = static_cast<std::size_t>(
+        (idx0 >> (level * kWheelBits)) & (kWheelBuckets - 1));
+    Bucket& b = wheel_[level].buckets[pos];
+    // Boundary buckets concentrate: every schedule issued within one pacing
+    // gap of a higher-level period boundary lands in the same next-period
+    // bucket, so that one bucket collects ~all pending timers while its
+    // neighbours stay near the per-bucket reserve. Instead of letting each
+    // period's spill bucket grow its own large vector (a capacity ratchet
+    // that walks around the level once per period), a full bucket takes over
+    // the parked storage of the last big cascade (see cascade()): one hot
+    // buffer circulates and steady state stops allocating. The test is the
+    // same size==capacity compare push_back is about to do anyway.
+    if (b.entries.size() == b.entries.capacity() &&
+        spare_.capacity() > b.entries.capacity()) {
+      assert(spare_.empty());
+      spare_.insert(spare_.end(), b.entries.begin(), b.entries.end());
+      std::swap(b.entries, spare_);
+      spare_.clear();
+    }
+    b.entries.push_back(e);
+    wheel_[level].occupancy[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+    return true;
+  }
+
+  /// Ensures the globally next live event (if any) is at the run head or the
+  /// heap top, draining/cascading wheel buckets as the frontier advances.
+  /// Returns false when no live events remain anywhere.
+  bool prepare_next();
+  /// Earliest occupied bucket across levels (preferring the higher level on
+  /// equal start times so containment cascades before loading). Caller
+  /// guarantees some occupancy bit is set.
+  void find_earliest_bucket(int* level, std::size_t* pos, std::uint64_t* abs_idx,
+                            SimTime* start) const;
+  /// Drains level-0 bucket `pos` (absolute index `abs_idx`) into the sorted
+  /// run buffer, purging stale entries, and advances the frontier past it.
+  void load_run(std::size_t pos, std::uint64_t abs_idx);
+  /// Re-places a level>=1 bucket's entries; each lands strictly below
+  /// `level` (or on the heap for the already-drained window).
+  void cascade(int level, std::size_t pos);
 
   /// Pops the top heap entry (caller guarantees non-empty).
   Entry pop_top();
@@ -203,8 +386,20 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t stale_skipped_ = 0;
+  std::uint64_t bucket_loads_ = 0;
+  std::uint64_t cascades_ = 0;
   std::size_t pending_ = 0;
+  bool wheel_enabled_ = true;
+  std::size_t wheel_live_ = 0;       // live entries in wheel buckets or
+                                     // staged in the run buffer
+  std::int64_t run_bucket_ = -1;     // last drained level-0 bucket index
   std::vector<Entry> heap_;
+  std::vector<Entry> run_;           // drained bucket, sorted by (t, seq)
+  std::size_t run_pos_ = 0;          // consumption cursor into run_
+  std::array<WheelLevel, kWheelLevels> wheel_;
+  std::vector<Entry> cascade_buf_;   // scratch for cascade() (reused)
+  std::vector<Entry> spare_;         // parked storage for boundary spill
+                                     // buckets (see place_in_wheel)
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
 };

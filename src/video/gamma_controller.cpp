@@ -15,11 +15,7 @@ GammaController::GammaController(GammaConfig config)
 }
 
 double GammaController::update(double p) {
-  p = std::clamp(p, 0.0, 1.0);
-  gamma_ = gamma_iterate(gamma_, p, cfg_.sigma, cfg_.p_thr);
-  gamma_ = std::clamp(gamma_, cfg_.gamma_low, cfg_.gamma_high);
-  ++updates_;
-  return gamma_;
+  return gamma_update_step(cfg_, p, gamma_, updates_);
 }
 
 void GammaController::register_metrics(MetricsRegistry& registry, const std::string& prefix) {

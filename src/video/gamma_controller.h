@@ -61,4 +61,18 @@ constexpr double gamma_iterate(double gamma, double p, double sigma, double p_th
   return gamma + sigma * (p / p_thr - gamma);
 }
 
+/// One full gamma control step (clamp p, iterate eq. (4), clamp gamma) on
+/// caller-owned state. GammaController applies it to its members and
+/// FlowTable to its contiguous columns, so batch updates are bit-for-bit
+/// identical to per-object control. Returns the new gamma.
+inline double gamma_update_step(const GammaConfig& cfg, double p, double& gamma,
+                                std::uint64_t& updates) {
+  p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  gamma = gamma_iterate(gamma, p, cfg.sigma, cfg.p_thr);
+  gamma = gamma < cfg.gamma_low ? cfg.gamma_low
+                                : (gamma > cfg.gamma_high ? cfg.gamma_high : gamma);
+  ++updates;
+  return gamma;
+}
+
 }  // namespace pels

@@ -1,0 +1,204 @@
+// Two-tier scheduler determinism tests (see DESIGN.md "Event model"): the
+// timing wheel must be an invisible optimization — execution order, cancel
+// semantics, and whole-scenario metrics are byte-identical to the heap-only
+// scheduler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pels/scenario.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace pels {
+namespace {
+
+TEST(SchedulerWheelTest, TieOrderIsInsertionOrderAcrossTiers) {
+  // Three events at the same timestamp, alternating tiers: A lands in the
+  // wheel, B (wheel disabled) on the heap, C back in the wheel. The global
+  // (t, seq) merge must run them in insertion order regardless of tier.
+  Scheduler sched;
+  std::vector<int> order;
+  const SimTime t = from_millis(1);
+  sched.schedule_at(t, [&order] { order.push_back(0); });
+  sched.set_wheel_enabled(false);
+  sched.schedule_at(t, [&order] { order.push_back(1); });
+  sched.set_wheel_enabled(true);
+  sched.schedule_at(t, [&order] { order.push_back(2); });
+
+  const Scheduler::Stats before = sched.stats();
+  EXPECT_EQ(before.wheel_entries, 2u);
+  EXPECT_EQ(before.heap_size, 1u);
+
+  sched.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerWheelTest, InterleavedTiersDrainInGlobalTimeOrder) {
+  // Deterministic pseudo-random horizons spanning every tier: sub-millisecond
+  // (level 0), seconds (level 1), minutes (level 2), and hours (heap).
+  // Execution must be sorted by time with FIFO among equal times.
+  Scheduler sched;
+  std::vector<std::pair<SimTime, int>> executed;
+  std::uint64_t lcg = 12345;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 5000; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t r = lcg >> 33;
+    SimTime t;
+    switch (i & 3) {
+      case 0: t = static_cast<SimTime>(r % (30 * kMillisecond)); break;
+      case 1: t = static_cast<SimTime>(r % (8 * kSecond)); break;
+      case 2: t = static_cast<SimTime>(r % (30 * 60 * kSecond)); break;
+      default: t = static_cast<SimTime>(r % (2 * 3600 * kSecond)); break;
+    }
+    times.push_back(t);
+    sched.schedule_at(t, [&executed, &sched, t, i] { executed.push_back({t, i}); });
+    // Redundant with the callback's own check, but catches a now() that
+    // regresses between events too.
+    (void)sched;
+  }
+
+  sched.run();
+  ASSERT_EQ(executed.size(), times.size());
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_LE(executed[i - 1].first, executed[i].first) << "at " << i;
+    if (executed[i - 1].first == executed[i].first) {
+      ASSERT_LT(executed[i - 1].second, executed[i].second)
+          << "tie at t=" << executed[i].first << " broke FIFO";
+    }
+  }
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.executed, times.size());
+  EXPECT_GT(stats.bucket_loads, 0u);
+  EXPECT_GT(stats.cascades, 0u);
+}
+
+TEST(SchedulerWheelTest, CancelAndRescheduleAcrossTierBoundaries) {
+  Scheduler sched;
+  int fired = 0;
+
+  // Wheel resident cancelled before its bucket drains.
+  const EventId near = sched.schedule_at(from_millis(5), [&fired] { ++fired; });
+  // Heap resident (beyond the wheel horizon) cancelled as well.
+  const EventId far = sched.schedule_at(2 * 3600 * kSecond, [&fired] { ++fired; });
+  EXPECT_TRUE(sched.cancel(near));
+  EXPECT_TRUE(sched.cancel(far));
+  EXPECT_FALSE(sched.cancel(near)) << "double cancel must be a no-op";
+
+  // The classic timer pattern: cancel-and-re-arm hopping between tiers.
+  // Each re-arm lands in a different tier than the last.
+  EventId timer = sched.schedule_at(from_millis(1), [&fired] { ++fired; });
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(sched.cancel(timer));
+    const SimTime t = (i % 2 == 0) ? (3 * 3600 * kSecond + i)  // heap tier
+                                   : from_millis(1 + i);       // wheel tier
+    timer = sched.schedule_at(t, [&fired] { ++fired; });
+  }
+
+  sched.run();
+  // Only the last re-arm survives.
+  EXPECT_EQ(fired, 1);
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.cancelled, 52u);
+  EXPECT_EQ(stats.wheel_entries, 0u);
+}
+
+TEST(SchedulerWheelTest, OverflowCascadesPreserveOrder) {
+  // One event per tier, in reverse scheduling order; later the level-2 and
+  // level-1 residents must cascade down as the frontier reaches them, and
+  // everything still runs in time order.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(20 * 60 * kSecond, [&order] { order.push_back(3); });  // level 2
+  sched.schedule_at(4 * kSecond, [&order] { order.push_back(2); });        // level 1
+  sched.schedule_at(from_millis(10), [&order] { order.push_back(1); });    // level 0
+  sched.schedule_at(from_micros(50), [&order] { order.push_back(0); });    // level 0
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_GE(stats.cascades, 2u) << "level-1 and level-2 residents must cascade";
+  EXPECT_EQ(stats.executed, 4u);
+}
+
+TEST(SchedulerWheelTest, PeekNextTimeMergesBothTiers) {
+  Scheduler sched;
+  const EventId near = sched.schedule_at(from_millis(2), [] {});
+  sched.schedule_at(2 * 3600 * kSecond, [] {});
+  EXPECT_EQ(sched.peek_next_time(), from_millis(2));
+  EXPECT_TRUE(sched.cancel(near));
+  EXPECT_EQ(sched.peek_next_time(), 2 * 3600 * kSecond);
+}
+
+TEST(SchedulerWheelTest, RunUntilStopsBetweenBuckets) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(from_millis(1), [&fired] { ++fired; });
+  sched.schedule_at(from_millis(50), [&fired] { ++fired; });
+  sched.run_until(from_millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), from_millis(10));
+  sched.run_until(from_millis(60));
+  EXPECT_EQ(fired, 2);
+}
+
+// The regression the ISSUE gates on: a full dumbbell scenario (the machinery
+// under every paper figure) must produce byte-identical trajectories with
+// the wheel enabled and disabled. Any divergence — one tie broken
+// differently, one event reordered — shows up in the chaotic convergence
+// dynamics within a few control intervals.
+TEST(SchedulerWheelTest, ScenarioMetricsAreByteIdenticalWheelVsHeap) {
+  const auto run = [](bool wheel) {
+    ScenarioConfig cfg;
+    cfg.pels_flows = 3;
+    cfg.tcp_flows = 1;
+    cfg.seed = 42;
+    cfg.scheduler_wheel = wheel;
+    auto s = std::make_unique<DumbbellScenario>(cfg);
+    s->run_until(10 * kSecond);
+    return s;
+  };
+  auto with_wheel = run(true);
+  auto heap_only = run(false);
+
+  EXPECT_GT(with_wheel->sim().scheduler().stats().bucket_loads, 0u)
+      << "wheel run never touched the wheel; the comparison is vacuous";
+  EXPECT_EQ(heap_only->sim().scheduler().stats().bucket_loads, 0u);
+
+  for (int f = 0; f < with_wheel->pels_flow_count(); ++f) {
+    const auto series = [](DumbbellScenario& s, int flow) {
+      return std::vector<const TimeSeries*>{&s.source(flow).rate_series(),
+                                            &s.source(flow).gamma_series(),
+                                            &s.source(flow).loss_series()};
+    };
+    const auto a = series(*with_wheel, f);
+    const auto b = series(*heap_only, f);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k]->size(), b[k]->size()) << "flow " << f << " series " << k;
+      for (std::size_t i = 0; i < a[k]->size(); ++i) {
+        ASSERT_EQ((*a[k])[i].t, (*b[k])[i].t) << "flow " << f << " series " << k;
+        // Bitwise, not approximate: the wheel must not perturb one ULP.
+        ASSERT_EQ((*a[k])[i].value, (*b[k])[i].value)
+            << "flow " << f << " series " << k << " point " << i;
+      }
+    }
+    EXPECT_EQ(with_wheel->source(f).fgs_bytes_sent(), heap_only->source(f).fgs_bytes_sent());
+    for (const Color c : {Color::kGreen, Color::kYellow, Color::kRed}) {
+      EXPECT_EQ(with_wheel->sink(f).packets_received(c), heap_only->sink(f).packets_received(c));
+    }
+  }
+  const auto& qa = with_wheel->pels_queue()->pels_group_counters();
+  const auto& qb = heap_only->pels_queue()->pels_group_counters();
+  for (std::size_t c = 0; c < kNumColors; ++c) {
+    EXPECT_EQ(qa.arrivals[c], qb.arrivals[c]);
+    EXPECT_EQ(qa.drops[c], qb.drops[c]);
+  }
+}
+
+}  // namespace
+}  // namespace pels

@@ -210,23 +210,46 @@ TEST(SchedulerTest, FifoTiesSurviveInterleavedCancels) {
 }
 
 TEST(SchedulerTest, StatsCountersTrackLifecycle) {
+  // Near events (t=10..30 from now=0) land in the wheel's calendar tier; a
+  // far event beyond the wheel horizon lands on the heap. Cancelling a
+  // wheel resident drops it from wheel_entries immediately (live count),
+  // but the dead entry is only purged — and counted stale — at drain.
   Scheduler s;
   const EventId a = s.schedule_at(10, [] {});
   s.schedule_at(20, [] {});
   s.schedule_at(30, [] {});
+  const EventId far = s.schedule_at(from_seconds(3600.0), [] {});
   s.cancel(a);
   auto st = s.stats();
-  EXPECT_EQ(st.scheduled, 3u);
+  EXPECT_EQ(st.scheduled, 4u);
   EXPECT_EQ(st.cancelled, 1u);
   EXPECT_EQ(st.executed, 0u);
-  EXPECT_EQ(st.pending, 2u);
-  EXPECT_EQ(st.heap_size, 3u);  // the cancelled entry is still in the heap
+  EXPECT_EQ(st.pending, 3u);
+  EXPECT_EQ(st.wheel_entries, 2u);  // live near events; cancelled one left
+  EXPECT_EQ(st.heap_size, 1u);      // the far event overflowed to the heap
+  s.cancel(far);
   s.run();
   st = s.stats();
   EXPECT_EQ(st.executed, 2u);
-  EXPECT_EQ(st.stale_skipped, 1u);
+  EXPECT_EQ(st.stale_skipped, 2u);  // one purged at drain, one at the heap top
   EXPECT_EQ(st.pending, 0u);
+  EXPECT_EQ(st.wheel_entries, 0u);
+  EXPECT_EQ(st.run_entries, 0u);
   EXPECT_EQ(st.heap_size, 0u);
+  EXPECT_EQ(st.bucket_loads, 1u);  // t=10..30 share one 131 us bucket
+}
+
+TEST(SchedulerTest, HeapOnlyModeBypassesWheel) {
+  Scheduler s;
+  s.set_wheel_enabled(false);
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  auto st = s.stats();
+  EXPECT_EQ(st.heap_size, 2u);
+  EXPECT_EQ(st.wheel_entries, 0u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(SchedulerTest, RunUntilExecutesEventScheduledAtBoundaryFromCallback) {

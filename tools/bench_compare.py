@@ -27,6 +27,27 @@ delivery counts shift whenever scenario behaviour legitimately changes, and
 the per-run telemetry-vs-plain equality is already enforced by the bench
 binary itself.
 
+The many-flows harness (--manyflows-current, BENCH_manyflows.json from
+bench/many_flows) is gated on current-run invariants — the bench carries its
+own acceptance bars, so no baseline file is needed:
+  - many_flows.large.flows >= 100000 (the scale claim must actually be run);
+  - many_flows.cost_ratio <= --cost-ratio-max (default 1.5): per-packet cost
+    at 100k flows must stay within 1.5x of 1k flows — flat-cost scaling;
+  - scheduler_tiers speedup at the largest pending population >=
+    --min-tier-speedup (default 3.0): the two-tier queue must beat the
+    heap-only baseline by 3x at 10^6 pending timers. Smoke runs (single-rep
+    medians) relax this floor by 0.6x with a notice — wall-clock noise on CI
+    runners swings the heap baseline, and the committed full-run artifact is
+    the reference measurement;
+  - wheel throughput at every pending >= 100000 must reach --min-wheel-eps
+    events/s (default 2e6), an absolute backstop so a "wins the ratio by
+    being uniformly slow" regression cannot pass;
+  - many_flows.large.allocs_per_packet <= 0.01 and every
+    scheduler_*_capacity_growth == 0 at 100k flows: the steady state neither
+    allocates nor grows a pre-sized pool (the bench exits non-zero on these
+    too; the gate re-checks the artifact so CI fails loudly even if the
+    bench's own exit status is swallowed).
+
 The chaos harness (--chaos-current, BENCH_chaos.json from bench/chaos_sweep)
 is gated on current-run invariants only — there is no meaningful baseline for
 "zero violations":
@@ -215,6 +236,146 @@ def compare(baseline: dict, current: dict, tolerance: float, telemetry_budget: f
     return 1
 
 
+def check_manyflows_schema(doc: dict) -> list[str]:
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(
+            f"manyflows: schema_version must be 1, got {doc.get('schema_version')!r}")
+    if doc.get("bench") != "many_flows":
+        errors.append(f"manyflows: bench must be 'many_flows', got {doc.get('bench')!r}")
+    tiers = doc.get("scheduler_tiers")
+    if not isinstance(tiers, list) or not tiers:
+        errors.append("manyflows: scheduler_tiers must be a non-empty list")
+    else:
+        for i, t in enumerate(tiers):
+            for k in ("pending", "heap_ev_per_sec", "wheel_ev_per_sec", "speedup"):
+                if k not in t:
+                    errors.append(f"manyflows: missing scheduler_tiers[{i}].{k}")
+    mf = doc.get("many_flows")
+    if not isinstance(mf, dict):
+        errors.append("manyflows: missing section 'many_flows'")
+        return errors
+    if "cost_ratio" not in mf:
+        errors.append("manyflows: missing many_flows.cost_ratio")
+    for side in ("small", "large"):
+        sub = mf.get(side)
+        if not isinstance(sub, dict):
+            errors.append(f"manyflows: missing many_flows.{side}")
+            continue
+        for k in (
+            "flows", "packets", "ns_per_packet", "allocs_per_packet",
+            "scheduler_heap_capacity_growth", "scheduler_slot_capacity_growth",
+            "scheduler_wheel_capacity_growth", "scheduler_run_capacity_growth",
+        ):
+            if k not in sub:
+                errors.append(f"manyflows: missing many_flows.{side}.{k}")
+    return errors
+
+
+def check_manyflows(doc: dict, cost_ratio_max: float, min_tier_speedup: float,
+                    min_wheel_eps: float) -> int:
+    """Gate the many-flows JSON on its own acceptance bars; returns exit code."""
+    errors = check_manyflows_schema(doc)
+    if errors:
+        for e in errors:
+            fail(e)
+        return 2
+
+    failures = 0
+    mf = doc["many_flows"]
+    large = mf["large"]
+
+    flows = int(large["flows"])
+    print(f"many-flows scale: {flows} simultaneous sources "
+          f"({large['packets']} packets measured)")
+    if flows < 100000:
+        fail(f"many_flows.large.flows = {flows} < 100000: the scale claim was not run")
+        failures += 1
+
+    ratio = float(mf["cost_ratio"])
+    print(
+        f"flat-cost: {float(mf['small']['ns_per_packet']):.0f} ns/packet at "
+        f"{mf['small']['flows']} flows vs {float(large['ns_per_packet']):.0f} at "
+        f"{flows} -> ratio {ratio:.3f} (max {cost_ratio_max:.2f})"
+    )
+    if ratio > cost_ratio_max:
+        fail(
+            f"many_flows.cost_ratio = {ratio:.3f} > {cost_ratio_max}: per-packet "
+            "cost is no longer flat in the flow population"
+        )
+        failures += 1
+
+    tiers = sorted(doc["scheduler_tiers"], key=lambda t: int(t["pending"]))
+    top = tiers[-1]
+    floor = min_tier_speedup
+    if doc.get("smoke", False):
+        floor *= 0.6
+        print(
+            f"tier gate: smoke run — speedup floor relaxed to {floor:.2f}x "
+            "(single-rep medians; the committed full-run artifact is the "
+            "reference measurement)"
+        )
+    speedup = float(top["speedup"])
+    print(
+        f"tier speedup at {top['pending']} pending: wheel "
+        f"{float(top['wheel_ev_per_sec']) / 1e6:.2f} Mev/s vs heap "
+        f"{float(top['heap_ev_per_sec']) / 1e6:.2f} -> {speedup:.2f}x "
+        f"(floor {floor:.2f}x)"
+    )
+    if speedup < floor:
+        fail(
+            f"scheduler_tiers speedup at {top['pending']} pending = "
+            f"{speedup:.2f}x < {floor:.2f}x: the calendar tier lost its edge "
+            "over the heap at population scale"
+        )
+        failures += 1
+
+    for t in tiers:
+        if int(t["pending"]) < 100000:
+            continue
+        eps = float(t["wheel_ev_per_sec"])
+        verdict = "ok" if eps >= min_wheel_eps else "FAIL"
+        print(
+            f"tier throughput at {t['pending']} pending: "
+            f"{eps / 1e6:.2f} Mev/s (floor {min_wheel_eps / 1e6:.1f}) {verdict}"
+        )
+        if eps < min_wheel_eps:
+            fail(
+                f"wheel throughput at {t['pending']} pending = {eps:,.0f} ev/s "
+                f"< {min_wheel_eps:,.0f}: absolute event-rate backstop"
+            )
+            failures += 1
+
+    app = float(large["allocs_per_packet"])
+    print(f"alloc probe at {flows} flows: {app:.4f} allocs/packet (limit 0.01)")
+    if app > 0.01:
+        fail(f"many_flows.large.allocs_per_packet = {app} > 0.01: "
+             "the steady state allocates again")
+        failures += 1
+
+    growths = {
+        k: int(large[k])
+        for k in (
+            "scheduler_heap_capacity_growth", "scheduler_slot_capacity_growth",
+            "scheduler_wheel_capacity_growth", "scheduler_run_capacity_growth",
+        )
+    }
+    grew = {k: v for k, v in growths.items() if v != 0}
+    print(f"pool growth at {flows} flows: "
+          + ", ".join(f"{k.split('_')[1]} +{v}" for k, v in growths.items()))
+    if grew:
+        for k, v in grew.items():
+            fail(f"many_flows.large.{k} = {v} != 0: a pre-sized scheduler pool "
+                 "grew mid-window (reserve_runtime under-sizes)")
+        failures += 1
+
+    if failures == 0:
+        print("bench_compare: many-flows PASS")
+        return 0
+    print(f"bench_compare: many-flows: {failures} check(s) failed")
+    return 1
+
+
 def check_chaos_schema(doc: dict) -> list[str]:
     errors = []
     if doc.get("schema_version") != 1:
@@ -347,6 +508,39 @@ def chaos_selftest_doc() -> dict:
     }
 
 
+def manyflows_selftest_doc() -> dict:
+    def side(flows: int, ns: float, allocs: float) -> dict:
+        return {
+            "flows": flows,
+            "packets": 500000,
+            "ns_per_packet": ns,
+            "allocs_per_packet": allocs,
+            "scheduler_heap_capacity_growth": 0,
+            "scheduler_slot_capacity_growth": 0,
+            "scheduler_wheel_capacity_growth": 0,
+            "scheduler_run_capacity_growth": 0,
+        }
+
+    return {
+        "schema_version": 1,
+        "bench": "many_flows",
+        "smoke": False,
+        "scheduler_tiers": [
+            {"pending": 1000, "heap_ev_per_sec": 9.0e6,
+             "wheel_ev_per_sec": 2.2e7, "speedup": 2.4},
+            {"pending": 100000, "heap_ev_per_sec": 4.2e6,
+             "wheel_ev_per_sec": 1.1e7, "speedup": 2.7},
+            {"pending": 1000000, "heap_ev_per_sec": 2.1e6,
+             "wheel_ev_per_sec": 6.9e6, "speedup": 3.3},
+        ],
+        "many_flows": {
+            "small": side(1000, 520.0, 0.0002),
+            "large": side(100000, 545.0, 0.0),
+            "cost_ratio": 1.05,
+        },
+    }
+
+
 def selftest() -> int:
     """Prove the gate detects an injected regression (and passes a clean run)."""
     baseline = {
@@ -438,6 +632,63 @@ def selftest() -> int:
         fail("selftest: telemetry overhead not detected")
         return 1
 
+    print("--- selftest: clean many-flows run must pass")
+    if check_manyflows(manyflows_selftest_doc(), 1.5, 3.0, 2e6) != 0:
+        fail("selftest: clean many-flows run did not pass")
+        return 1
+
+    print("--- selftest: superlinear per-packet cost must fail")
+    costly = manyflows_selftest_doc()
+    costly["many_flows"]["cost_ratio"] = 2.1
+    if check_manyflows(costly, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: cost-ratio regression not detected")
+        return 1
+
+    print("--- selftest: tier speedup collapse at max pending must fail")
+    flat = manyflows_selftest_doc()
+    flat["scheduler_tiers"][-1]["speedup"] = 1.4
+    if check_manyflows(flat, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: tier-speedup regression not detected")
+        return 1
+
+    print("--- selftest: smoke run relaxes the speedup floor")
+    noisy = manyflows_selftest_doc()
+    noisy["smoke"] = True
+    noisy["scheduler_tiers"][-1]["speedup"] = 2.2  # < 3.0 but >= 0.6 * 3.0
+    if check_manyflows(noisy, 1.5, 3.0, 2e6) != 0:
+        fail("selftest: smoke relaxation did not apply")
+        return 1
+
+    print("--- selftest: uniformly slow wheel must fail the absolute backstop")
+    crawling = manyflows_selftest_doc()
+    crawling["scheduler_tiers"][-1]["heap_ev_per_sec"] = 0.4e6
+    crawling["scheduler_tiers"][-1]["wheel_ev_per_sec"] = 1.4e6  # 3.5x but slow
+    crawling["scheduler_tiers"][-1]["speedup"] = 3.5
+    if check_manyflows(crawling, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: absolute throughput backstop not detected")
+        return 1
+
+    print("--- selftest: allocating many-flows steady state must fail")
+    dripping = manyflows_selftest_doc()
+    dripping["many_flows"]["large"]["allocs_per_packet"] = 0.3
+    if check_manyflows(dripping, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: many-flows alloc regression not detected")
+        return 1
+
+    print("--- selftest: pool growth at 100k flows must fail")
+    swelling = manyflows_selftest_doc()
+    swelling["many_flows"]["large"]["scheduler_wheel_capacity_growth"] = 98658
+    if check_manyflows(swelling, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: pool-growth regression not detected")
+        return 1
+
+    print("--- selftest: under-scale many-flows run must fail")
+    shrunken = manyflows_selftest_doc()
+    shrunken["many_flows"]["large"]["flows"] = 10000
+    if check_manyflows(shrunken, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: under-scale run not detected")
+        return 1
+
     print("--- selftest: clean chaos run must pass")
     if check_chaos(chaos_selftest_doc(), 0.06) != 0:
         fail("selftest: clean chaos run did not pass")
@@ -511,6 +762,30 @@ def main() -> int:
         "its own invariants, no baseline needed",
     )
     ap.add_argument(
+        "--manyflows-current",
+        help="freshly produced many_flows JSON (BENCH_manyflows.json); gated "
+        "on its own acceptance bars, no baseline needed",
+    )
+    ap.add_argument(
+        "--cost-ratio-max",
+        type=float,
+        default=1.5,
+        help="max many_flows per-packet cost ratio 100k/1k flows (default 1.5)",
+    )
+    ap.add_argument(
+        "--min-tier-speedup",
+        type=float,
+        default=3.0,
+        help="min wheel-vs-heap speedup at the largest pending population "
+        "(default 3.0; smoke runs relax the floor by 0.6x)",
+    )
+    ap.add_argument(
+        "--min-wheel-eps",
+        type=float,
+        default=2e6,
+        help="min wheel events/s at every pending >= 100000 (default 2e6)",
+    )
+    ap.add_argument(
         "--monitor-budget",
         type=float,
         default=0.06,
@@ -522,14 +797,19 @@ def main() -> int:
 
     if args.selftest:
         return selftest()
-    if not args.chaos_current and (not args.baseline or not args.current):
-        ap.error("--baseline and --current are required (or --chaos-current, or --selftest)")
+    if (not args.chaos_current and not args.manyflows_current
+            and (not args.baseline or not args.current)):
+        ap.error("--baseline and --current are required (or --chaos-current, "
+                 "--manyflows-current, or --selftest)")
     rc = 0
     if args.baseline and args.current:
         rc = compare(load(args.baseline), load(args.current), args.tolerance,
                      args.telemetry_budget, args.min_speedup)
     if args.chaos_current:
         rc = max(rc, check_chaos(load(args.chaos_current), args.monitor_budget))
+    if args.manyflows_current:
+        rc = max(rc, check_manyflows(load(args.manyflows_current), args.cost_ratio_max,
+                                     args.min_tier_speedup, args.min_wheel_eps))
     return rc
 
 

@@ -105,6 +105,22 @@ class FlowTable {
   const MkcConfig& mkc_config() const { return mkc_; }
   const GammaConfig& gamma_config() const { return gamma_cfg_; }
 
+  /// Heap footprint of every column plus the free list (capacities, not
+  /// sizes): the bytes/flow budget reported by bench/many_flows counts this.
+  std::size_t memory_bytes() const {
+    return rate_.capacity() * sizeof(double) + gamma_col_.capacity() * sizeof(double) +
+           paced_rate_.capacity() * sizeof(double) +
+           recovery_left_.capacity() * sizeof(std::int32_t) +
+           flags_.capacity() * sizeof(std::uint8_t) +
+           mkc_updates_.capacity() * sizeof(std::uint64_t) +
+           silence_ticks_.capacity() * sizeof(std::uint64_t) +
+           gamma_updates_.capacity() * sizeof(std::uint64_t) +
+           staged_loss_.capacity() * sizeof(double) +
+           staged_fgs_loss_.capacity() * sizeof(double) +
+           staged_.capacity() * sizeof(std::uint8_t) +
+           free_slots_.capacity() * sizeof(FlowSlot);
+  }
+
  private:
   static constexpr std::uint8_t kLive = 1u << 0;
   static constexpr std::uint8_t kSilent = 1u << 1;

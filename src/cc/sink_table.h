@@ -1,0 +1,92 @@
+// Structure-of-arrays receiver accounting for population-scale drivers
+// (ROADMAP "Million-flow scale-out").
+//
+// At N=10^6 flows, one CountingSink object per flow (registered in each
+// host's flow->agent map) is the receiver-side memory wall: ~50+ bytes of
+// map node + agent object per flow, scattered across the heap. The
+// SinkTable replaces both with two dense u64 columns indexed by the
+// driver's flow id, and a single shared Agent adapter installed as every
+// host's default agent — per-flow receive state costs 16 bytes, flat.
+//
+// Thread-safety contract (sharded drivers): record() writes only the cells
+// of its packet's flow. Under DomainRunner each flow's packets are
+// delivered by exactly one domain worker (the destination host's domain),
+// so concurrent workers always write distinct vector elements — the
+// single-writer-per-cell discipline needs no locks. Aggregates (per-class
+// totals, delivered sums) are computed by scanning at barrier points
+// (control output, end of run), never accumulated at delivery time, which
+// would race.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/host.h"
+
+namespace pels {
+
+class SinkTable {
+ public:
+  /// Sizes the table for flow ids [0, flows). Existing counters persist;
+  /// new cells start at zero.
+  void resize(std::size_t flows) {
+    packets_.resize(flows, 0);
+    bytes_.resize(flows, 0);
+  }
+
+  std::size_t size() const { return packets_.size(); }
+
+  /// Records one delivered packet for `flow`. Hot path: two increments on
+  /// adjacent columns, no branches, no locks (see header contract).
+  void record(std::size_t flow, std::int32_t packet_bytes) {
+    ++packets_[flow];
+    bytes_[flow] += static_cast<std::uint64_t>(packet_bytes);
+  }
+
+  std::uint64_t packets(std::size_t flow) const { return packets_[flow]; }
+  std::uint64_t bytes(std::size_t flow) const { return bytes_[flow]; }
+
+  struct Totals {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Sums delivered packets/bytes over every flow. Linear scan; call at
+  /// barrier points, not per delivery.
+  Totals totals() const {
+    Totals t;
+    for (std::size_t i = 0; i < packets_.size(); ++i) {
+      t.packets += packets_[i];
+      t.bytes += bytes_[i];
+    }
+    return t;
+  }
+
+  /// Heap footprint of the columns (capacity, not size): the bytes/flow
+  /// budget reported by bench/many_flows counts this.
+  std::size_t memory_bytes() const {
+    return packets_.capacity() * sizeof(std::uint64_t) +
+           bytes_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+/// The one Agent shared by every receiving host: routes a delivered
+/// packet's accounting into the SinkTable cell of pkt.flow. Install with
+/// Host::set_default_agent — no per-flow registration, no per-host object.
+class SinkTableAgent final : public Agent {
+ public:
+  explicit SinkTableAgent(SinkTable& table) : table_(&table) {}
+
+  void on_packet(const Packet& pkt) override {
+    table_->record(static_cast<std::size_t>(pkt.flow), pkt.size_bytes);
+  }
+
+ private:
+  SinkTable* table_;
+};
+
+}  // namespace pels

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -50,6 +51,7 @@ Link& Fabric::add_core_link(Node& from, Node& to, SimTime delay) {
   Link& link = topo_->add_link(from, to, cfg_.core_bandwidth_bps, delay, factory);
   core_links_.push_back(&link);
   core_queues_.push_back(queue);
+  core_queue_domains_.push_back(topo_->node_domain(from.id()));
   return link;
 }
 
@@ -193,20 +195,25 @@ double packet_hash01(FlowId flow, std::uint64_t seq) {
 
 ManyFlowDriver::ManyFlowDriver(Fabric& fabric, std::vector<FlowSpec> flows,
                                ManyFlowDriverConfig cfg)
-    : fabric_(fabric), cfg_(cfg), table_(cfg.mkc, cfg.gamma) {
-  if (fabric.domain_count() != 1) {
-    throw std::invalid_argument(
-        "ManyFlowDriver reads every bottleneck meter from one control tick, "
-        "which only respects causality on a single-domain fabric");
+    : fabric_(fabric), cfg_(cfg), sink_agent_(sink_table_) {
+  const auto domains = static_cast<std::size_t>(fabric.domain_count());
+  shards_.reserve(domains);
+  for (std::size_t d = 0; d < domains; ++d) shards_.emplace_back(cfg_);
+  // A shard's control tick may only read meters whose events run in its own
+  // domain (the queue lives on that domain's scheduler, see
+  // Fabric::add_core_link) — anything else would read a peer domain's state
+  // mid-lookahead-window and break byte-identity under DomainRunner.
+  for (std::size_t q = 0; q < fabric.core_queue_count(); ++q) {
+    const auto d = static_cast<std::size_t>(fabric.core_queue_domain(q));
+    shards_[d].meters.push_back(&fabric.core_queue(q));
   }
-  table_.reserve(flows.size());
+
   flows_.reserve(flows.size());
-  sinks_.reserve(fabric.hosts().size());
-  for (std::size_t h = 0; h < fabric.hosts().size(); ++h) {
-    sinks_.push_back(std::make_unique<CountingSink>());
-  }
+  sink_table_.resize(flows.size());
   // Specs must arrive in activation order (gen_mixed_traffic sorts); sort
-  // defensively so hand-built mixes work too.
+  // defensively so hand-built mixes work too. Flow ids (= indices) are
+  // assigned after the sort, so they are a property of the mix alone — not
+  // of the fabric's domain partitioning or the thread count.
   std::stable_sort(flows.begin(), flows.end(),
                    [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
   for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -214,62 +221,87 @@ ManyFlowDriver::ManyFlowDriver(Fabric& fabric, std::vector<FlowSpec> flows,
     FlowRt f;
     f.spec = spec;
     f.src = fabric.hosts()[static_cast<std::size_t>(spec.src_host)];
+    f.shard = static_cast<std::uint32_t>(
+        fabric.host_domain(static_cast<std::size_t>(spec.src_host)));
     f.dst = fabric.hosts()[static_cast<std::size_t>(spec.dst_host)]->id();
     f.bytes_left = spec.total_bytes > 0 ? spec.total_bytes : -1;
-    // Flow id = index; the destination host multiplexes every flow addressed
-    // to it onto one counting sink.
-    fabric.hosts()[static_cast<std::size_t>(spec.dst_host)]->register_agent(
-        static_cast<FlowId>(i), sinks_[static_cast<std::size_t>(spec.dst_host)].get());
+    shards_[f.shard].members.push_back(static_cast<std::uint32_t>(i));
     flows_.push_back(std::move(f));
   }
+  for (Shard& s : shards_) s.table.reserve(s.members.size());
+  // One shared table-backed sink serves every destination host: per-flow
+  // receiver state is a pair of SinkTable cells, not a map entry + object.
+  for (Host* h : fabric.hosts()) h->set_default_agent(&sink_agent_);
 }
 
 ManyFlowDriver::~ManyFlowDriver() {
-  Scheduler& sched = fabric_.sim().scheduler();
-  if (activation_event_ != 0) sched.cancel(activation_event_);
-  if (control_event_ != 0) sched.cancel(control_event_);
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    if (flows_[i].pace_event != 0) sched.cancel(flows_[i].pace_event);
-    fabric_.hosts()[static_cast<std::size_t>(flows_[i].spec.dst_host)]->unregister_agent(
-        static_cast<FlowId>(i));
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    Shard& s = shards_[d];
+    Scheduler& sched = fabric_.sim(static_cast<int>(d)).scheduler();
+    if (s.activation_event != 0) sched.cancel(s.activation_event);
+    if (s.control_event != 0) sched.cancel(s.control_event);
+  }
+  for (FlowRt& f : flows_) {
+    if (f.pace_event != 0) {
+      fabric_.sim(static_cast<int>(f.shard)).scheduler().cancel(f.pace_event);
+    }
+  }
+  for (Host* h : fabric_.hosts()) {
+    if (h->default_agent() == &sink_agent_) h->set_default_agent(nullptr);
   }
 }
 
 void ManyFlowDriver::start() {
   assert(!started_ && "start() is one-shot");
   started_ = true;
-  Simulation& sim = fabric_.sim();
-  if (!flows_.empty()) {
-    const SimTime first = std::max(flows_[0].spec.start, sim.now());
-    activation_event_ = sim.at(first, [this] { activate_due_flows(); });
+  for (std::uint32_t d = 0; d < shards_.size(); ++d) {
+    Shard& s = shards_[d];
+    if (s.members.empty()) continue;  // hostless domains (e.g. the core) idle
+    Simulation& sim = fabric_.sim(static_cast<int>(d));
+    const SimTime first = std::max(flows_[s.members[0]].spec.start, sim.now());
+    s.activation_event = sim.at(first, [this, d] { activate_due_flows(d); });
+    s.control_event = sim.after(cfg_.control_interval, [this, d] { on_control_tick(d); });
   }
-  control_event_ = sim.after(cfg_.control_interval, [this] { on_control_tick(); });
 }
 
-void ManyFlowDriver::activate_due_flows() {
-  activation_event_ = 0;
-  Simulation& sim = fabric_.sim();
+void ManyFlowDriver::run_until(SimTime t_end) {
+  if (fabric_.domain_count() != 1) {
+    throw std::logic_error(
+        "multi-domain fabric: run the driver under a DomainRunner over "
+        "fabric.topology() (threads = 1 is the serial baseline)");
+  }
+  fabric_.sim().run_until(t_end);
+}
+
+void ManyFlowDriver::activate_due_flows(std::uint32_t shard) {
+  Shard& s = shards_[shard];
+  s.activation_event = 0;
+  Simulation& sim = fabric_.sim(static_cast<int>(shard));
   const SimTime now = sim.now();
-  while (next_to_start_ < flows_.size() && flows_[next_to_start_].spec.start <= now) {
-    const auto i = static_cast<std::uint32_t>(next_to_start_++);
+  while (s.next_to_start < s.members.size() &&
+         flows_[s.members[s.next_to_start]].spec.start <= now) {
+    const std::uint32_t i = s.members[s.next_to_start++];
     FlowRt& f = flows_[i];
-    f.slot = table_.add_flow(f.spec.rate_bps, cfg_.gamma.initial_gamma);
+    f.slot = s.table.add_flow(f.spec.rate_bps, cfg_.gamma.initial_gamma);
     f.started = true;
     send_next(i);
   }
-  if (next_to_start_ < flows_.size()) {
-    activation_event_ = sim.at(flows_[next_to_start_].spec.start,
-                               [this] { activate_due_flows(); });
+  if (s.next_to_start < s.members.size()) {
+    s.activation_event = sim.at(flows_[s.members[s.next_to_start]].spec.start,
+                                [this, shard] { activate_due_flows(shard); });
   }
 }
 
 double ManyFlowDriver::pacing_rate(const FlowRt& f) const {
   if (f.spec.cls != TrafficClass::kVideo) return f.spec.rate_bps;
-  return std::min(table_.rate_bps(f.slot), cfg_.max_rate_factor * f.spec.rate_bps);
+  return std::min(shards_[f.shard].table.rate_bps(f.slot),
+                  cfg_.max_rate_factor * f.spec.rate_bps);
 }
 
 void ManyFlowDriver::send_next(std::uint32_t index) {
   FlowRt& f = flows_[index];
+  Shard& s = shards_[f.shard];
+  Simulation& sim = fabric_.sim(static_cast<int>(f.shard));
   f.pace_event = 0;
 
   Packet pkt;
@@ -282,7 +314,7 @@ void ManyFlowDriver::send_next(std::uint32_t index) {
                        : f.spec.packet_bytes;
   pkt.src = f.src->id();
   pkt.dst = f.dst;
-  pkt.created_at = fabric_.sim().now();
+  pkt.created_at = sim.now();
   if (f.spec.cls == TrafficClass::kVideo) {
     // Base layer green, FGS remainder split red/yellow by the flow's
     // current gamma — decided per packet by a deterministic hash so the
@@ -292,7 +324,7 @@ void ManyFlowDriver::send_next(std::uint32_t index) {
       pkt.color = Color::kGreen;
     } else {
       const double frac = (u - cfg_.green_fraction) / (1.0 - cfg_.green_fraction);
-      pkt.color = frac < table_.gamma(f.slot) ? Color::kRed : Color::kYellow;
+      pkt.color = frac < s.table.gamma(f.slot) ? Color::kRed : Color::kYellow;
     }
   } else {
     pkt.color = Color::kInternet;
@@ -300,52 +332,120 @@ void ManyFlowDriver::send_next(std::uint32_t index) {
 
   const std::int32_t size = pkt.size_bytes;
   f.src->send(std::move(pkt));  // drops count as sent: the cost was paid
-  ++packets_sent_;
+  ++s.packets_sent;
 
   if (f.bytes_left > 0) {
     f.bytes_left -= size;
     if (f.bytes_left <= 0) {
       f.done = true;
-      table_.remove_flow(f.slot);
+      s.table.remove_flow(f.slot);
       f.slot = kInvalidFlowSlot;
       return;
     }
   }
   const double rate = pacing_rate(f);
   const auto gap = static_cast<SimTime>(static_cast<double>(size) * 8.0 / rate * kSecond);
-  f.pace_event = fabric_.sim().after(std::max<SimTime>(gap, 1),
-                                     [this, index] { send_next(index); });
+  f.pace_event = sim.after(std::max<SimTime>(gap, 1), [this, index] { send_next(index); });
 }
 
-void ManyFlowDriver::on_control_tick() {
-  ++control_ticks_;
+void ManyFlowDriver::on_control_tick(std::uint32_t shard) {
+  Shard& s = shards_[shard];
+  ++s.control_ticks;
   // The governing bottleneck in the max-min sense of §5.2 is the most
-  // congested one; one scan over the (few) meters serves the whole
-  // population. Meters publish nothing before their first epoch closes.
+  // congested one the shard can see without leaving its domain; one scan
+  // over the (few) local meters serves the shard's whole population.
+  // Cross-domain bottlenecks reach a shard the causal way — as loss on the
+  // packets its flows push through them — not by peeking at a meter a
+  // lookahead window into a peer's future. Meters publish nothing before
+  // their first epoch closes.
   double p = 0.0;
   double p_fgs = 0.0;
   bool valid = false;
-  for (std::size_t q = 0; q < fabric_.core_queue_count(); ++q) {
-    const PelsQueue& queue = fabric_.core_queue(q);
-    if (queue.epoch() < 1) continue;
-    if (!valid || queue.current_loss() > p) p = queue.current_loss();
-    if (!valid || queue.current_fgs_loss() > p_fgs) p_fgs = queue.current_fgs_loss();
+  for (const PelsQueue* queue : s.meters) {
+    if (queue->epoch() < 1) continue;
+    if (!valid || queue->current_loss() > p) p = queue->current_loss();
+    if (!valid || queue->current_fgs_loss() > p_fgs) p_fgs = queue->current_fgs_loss();
     valid = true;
   }
   if (valid) {
-    for (const FlowRt& f : flows_) {
+    for (const std::uint32_t i : s.members) {
+      const FlowRt& f = flows_[i];
       if (!f.started || f.done || f.spec.cls != TrafficClass::kVideo) continue;
-      table_.stage_feedback(f.slot, p);
-      table_.stage_gamma(f.slot, p_fgs);
+      s.table.stage_feedback(f.slot, p);
+      s.table.stage_gamma(f.slot, p_fgs);
     }
   }
-  table_.batch_control_tick();
-  control_event_ = fabric_.sim().after(cfg_.control_interval, [this] { on_control_tick(); });
+  s.table.batch_control_tick();
+  s.control_event = fabric_.sim(static_cast<int>(shard))
+                        .after(cfg_.control_interval, [this, shard] { on_control_tick(shard); });
 }
 
-std::uint64_t ManyFlowDriver::packets_received() const {
+std::size_t ManyFlowDriver::live_flows() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.table.size();
+  return total;
+}
+
+std::uint64_t ManyFlowDriver::packets_sent() const {
   std::uint64_t total = 0;
-  for (const auto& sink : sinks_) total += sink->packets();
+  for (const Shard& s : shards_) total += s.packets_sent;
+  return total;
+}
+
+std::uint64_t ManyFlowDriver::control_ticks() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.control_ticks;
+  return total;
+}
+
+ManyFlowDriver::ClassCounts ManyFlowDriver::class_counts(TrafficClass cls) const {
+  ClassCounts c;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowRt& f = flows_[i];
+    if (f.spec.cls != cls) continue;
+    ++c.flows;
+    c.packets_sent += f.next_seq;
+    c.packets_delivered += sink_table_.packets(i);
+    c.bytes_delivered += sink_table_.bytes(i);
+  }
+  return c;
+}
+
+std::uint64_t ManyFlowDriver::fingerprint() const {
+  // Chained splitmix64 over the per-flow end state. Rates/gammas enter as
+  // bit patterns: byte-identity means bit equality, not epsilon-closeness.
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    std::uint64_t state = h ^ v;
+    h = splitmix64(state);
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowRt& f = flows_[i];
+    mix(f.next_seq);
+    mix(static_cast<std::uint64_t>(f.done ? 1 : 0));
+    if (f.started && !f.done) {
+      const FlowTable& t = shards_[f.shard].table;
+      mix_double(t.rate_bps(f.slot));
+      mix_double(t.gamma(f.slot));
+    }
+    mix(sink_table_.packets(i));
+    mix(sink_table_.bytes(i));
+  }
+  return h;
+}
+
+std::size_t ManyFlowDriver::driver_memory_bytes() const {
+  std::size_t total = flows_.capacity() * sizeof(FlowRt) + sink_table_.memory_bytes();
+  for (const Shard& s : shards_) {
+    total += s.table.memory_bytes() + s.members.capacity() * sizeof(std::uint32_t) +
+             s.meters.capacity() * sizeof(PelsQueue*);
+  }
   return total;
 }
 

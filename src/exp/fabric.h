@@ -20,13 +20,16 @@
 // On top of a fabric, gen_mixed_traffic() produces a deterministic flow mix
 // (long-lived video, short mice, bulk elephants — in the spirit of htsim's
 // gen_mixed_traffic/main_mixed drivers), and ManyFlowDriver runs such a mix
-// at populations the per-flow PelsSource machinery was never sized for: one
-// FlowTable holds every flow's control state, per-flow pacing emits colored
-// packets straight onto the source host, and a single shared control tick
-// batch-updates the whole population from the bottleneck queues' published
-// loss (no per-flow ACK path — the driver measures simulator cost per
-// packet, not end-to-end protocol dynamics; bench/many_flows.cpp is the
-// consumer).
+// at populations the per-flow PelsSource machinery was never sized for. The
+// driver is sharded by domain: each shard owns the flows sourced in its
+// domain (a FlowTable of control state, per-flow pacing events, and a
+// batched control tick reading that domain's bottleneck meters), so a
+// domain_per_pod fat tree runs one shard per pod under DomainRunner,
+// byte-identical at any thread count. Receiver state is a dense SinkTable
+// fed through host default agents — 16 bytes per flow instead of a map
+// entry plus sink object (no per-flow ACK path — the driver measures
+// simulator cost per packet, not end-to-end protocol dynamics;
+// bench/many_flows.cpp is the consumer).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "cc/flow_table.h"
+#include "cc/sink_table.h"
 #include "net/host.h"
 #include "net/topology.h"
 #include "queue/pels_queue.h"
@@ -104,10 +108,18 @@ class Fabric {
   const std::vector<Link*>& core_links() const { return core_links_; }
   PelsQueue& core_queue(std::size_t i) { return *core_queues_[i]; }
   std::size_t core_queue_count() const { return core_queues_.size(); }
+  /// Domain whose scheduler runs core queue `i`'s events (= the source
+  /// node's domain) — the locality rule sharded drivers partition meters by.
+  int core_queue_domain(std::size_t i) const { return core_queue_domains_[i]; }
 
   /// Pre-sizes every domain's runtime pools for `expected_flows` concurrent
-  /// flows (see Topology::reserve_runtime).
-  void reserve_runtime(std::size_t expected_flows) { topo_->reserve_runtime(expected_flows); }
+  /// flows (see Topology::reserve_runtime). Fabric drivers deliver through a
+  /// shared default agent (cc/sink_table.h), so the per-host agent maps stay
+  /// empty by default — pass `agents_per_host` only for setups that register
+  /// per-flow agents on fabric hosts.
+  void reserve_runtime(std::size_t expected_flows, std::size_t agents_per_host = 0) {
+    topo_->reserve_runtime(expected_flows, agents_per_host);
+  }
 
  private:
   void build_parking_lot();
@@ -121,6 +133,7 @@ class Fabric {
   std::vector<Host*> hosts_;
   std::vector<Link*> core_links_;
   std::vector<PelsQueue*> core_queues_;
+  std::vector<int> core_queue_domains_;
   std::int32_t next_router_id_ = 0;
 };
 
@@ -185,16 +198,24 @@ struct ManyFlowDriverConfig {
   double max_rate_factor = 3.0;
 };
 
-/// Runs a flow mix over a fabric with population-scale machinery: one
-/// FlowTable slot per flow, one pacing event per flow (self-rescheduling at
-/// the flow's current rate), counting sinks, and a single shared control
-/// tick that stages the bottleneck loss for every live video flow and
-/// batch-applies MKC + gamma in one linear scan.
+/// Runs a flow mix over a fabric with population-scale machinery, sharded by
+/// domain: every flow belongs to the shard of its *source host's* domain,
+/// and each shard owns a FlowTable, an activation cursor, per-flow pacing
+/// events, and a control tick — all scheduled on the shard's own domain
+/// Simulation, so DomainRunner executes shards in parallel and the result is
+/// byte-identical at any thread count (tests/fabric_test.cpp pins it).
 ///
-/// Single-domain only: the shared control tick reads every core queue's
-/// meter directly, which would break the conservative-lookahead contract
-/// across domains (multi-domain fabrics are for DomainRunner experiments,
-/// not this driver). The constructor throws on a multi-domain fabric.
+/// The conservative-lookahead contract holds because a shard's control tick
+/// reads only the queue meters local to its domain: cross-pod congestion
+/// feedback travels with the packets through the boundary-link handoff, the
+/// same way it reaches a real sender. A single-domain fabric degenerates to
+/// one shard reading every meter — the original shared-control-tick
+/// semantics.
+///
+/// Per-flow receiver state is a SinkTable (dense SoA columns indexed by flow
+/// id) fed through each host's default agent — no per-flow map entries, no
+/// per-host sink objects; see cc/sink_table.h for the single-writer-per-cell
+/// argument that makes cross-domain delivery race-free.
 class ManyFlowDriver {
  public:
   ManyFlowDriver(Fabric& fabric, std::vector<FlowSpec> flows, ManyFlowDriverConfig cfg);
@@ -203,37 +224,55 @@ class ManyFlowDriver {
   ManyFlowDriver(const ManyFlowDriver&) = delete;
   ManyFlowDriver& operator=(const ManyFlowDriver&) = delete;
 
-  /// Starts the flow-activation cursor and the shared control tick.
+  /// Starts every shard's flow-activation cursor and control tick.
   void start();
-  void run_until(SimTime t_end) { fabric_.sim().run_until(t_end); }
+  /// Runs a single-domain fabric in place. Multi-domain fabrics must run
+  /// under a DomainRunner over fabric.topology() (which also covers the
+  /// serial case at threads = 1); this throws to catch the misuse.
+  void run_until(SimTime t_end);
 
   std::size_t flow_count() const { return flows_.size(); }
-  std::size_t live_flows() const { return table_.size(); }
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_received() const;
-  std::uint64_t control_ticks() const { return control_ticks_; }
-  FlowTable& flow_table() { return table_; }
-  double flow_rate_bps(std::size_t i) const { return table_.rate_bps(flows_[i].slot); }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t live_flows() const;
+  std::uint64_t packets_sent() const;
+  std::uint64_t packets_received() const { return sink_table_.totals().packets; }
+  std::uint64_t bytes_received() const { return sink_table_.totals().bytes; }
+  std::uint64_t control_ticks() const;
+  /// Shard-local flow table (shards are indexed by domain).
+  FlowTable& flow_table(std::size_t shard = 0) { return shards_[shard].table; }
+  const SinkTable& sink_table() const { return sink_table_; }
+  double flow_rate_bps(std::size_t i) const {
+    return shards_[flows_[i].shard].table.rate_bps(flows_[i].slot);
+  }
   bool flow_done(std::size_t i) const { return flows_[i].done; }
 
- private:
-  /// Per-host sink counting deliveries for every flow addressed to the host.
-  class CountingSink : public Agent {
-   public:
-    void on_packet(const Packet& pkt) override {
-      ++packets_;
-      bytes_ += pkt.size_bytes;
-    }
-    std::uint64_t packets() const { return packets_; }
-
-   private:
-    std::uint64_t packets_ = 0;
-    std::uint64_t bytes_ = 0;
+  /// Per-class roll-up for mixed-traffic benches (video/mice/elephant
+  /// splits). Linear scan over the population; call at barrier points.
+  struct ClassCounts {
+    std::uint64_t flows = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
   };
+  ClassCounts class_counts(TrafficClass cls) const;
 
+  /// Order-independent digest of the end state every domain interleaving
+  /// must reproduce: per-flow send counts, rate/gamma bit patterns, and
+  /// delivered packet/byte counts. Byte-identity tests and the bench compare
+  /// this across thread counts.
+  std::uint64_t fingerprint() const;
+
+  /// Heap footprint of the driver's per-flow state: the flow list, every
+  /// shard's FlowTable columns and member lists, and the SinkTable. The
+  /// bytes/flow budget gated by bench/many_flows is driver_memory_bytes() /
+  /// flow_count().
+  std::size_t driver_memory_bytes() const;
+
+ private:
   struct FlowRt {
     FlowSpec spec;
     FlowSlot slot = kInvalidFlowSlot;
+    std::uint32_t shard = 0;      // owning shard == source host's domain
     Host* src = nullptr;
     NodeId dst = -1;
     std::uint64_t next_seq = 0;
@@ -243,21 +282,33 @@ class ManyFlowDriver {
     bool done = false;
   };
 
-  void activate_due_flows();
+  /// Per-domain driver state. Everything a shard touches while running —
+  /// its table, cursor, counters, events — is written only by its domain's
+  /// worker; cross-shard aggregation happens in the const accessors, after
+  /// (or between) runs.
+  struct Shard {
+    explicit Shard(const ManyFlowDriverConfig& cfg) : table(cfg.mkc, cfg.gamma) {}
+    FlowTable table;
+    std::vector<std::uint32_t> members;  // owned flow ids, activation order
+    std::size_t next_to_start = 0;       // activation cursor into members
+    std::vector<PelsQueue*> meters;      // core-queue meters in this domain
+    std::uint64_t packets_sent = 0;
+    std::uint64_t control_ticks = 0;
+    EventId activation_event = 0;
+    EventId control_event = 0;
+  };
+
+  void activate_due_flows(std::uint32_t shard);
   void send_next(std::uint32_t index);
-  void on_control_tick();
+  void on_control_tick(std::uint32_t shard);
   double pacing_rate(const FlowRt& f) const;
 
   Fabric& fabric_;
   ManyFlowDriverConfig cfg_;
-  FlowTable table_;
-  std::vector<FlowRt> flows_;       // sorted by spec.start (gen_mixed_traffic order)
-  std::size_t next_to_start_ = 0;   // activation cursor into flows_
-  std::vector<std::unique_ptr<CountingSink>> sinks_;  // one per fabric host
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t control_ticks_ = 0;
-  EventId activation_event_ = 0;
-  EventId control_event_ = 0;
+  std::vector<FlowRt> flows_;   // sorted by spec.start (gen_mixed_traffic order)
+  std::vector<Shard> shards_;   // indexed by domain
+  SinkTable sink_table_;        // indexed by flow id; written at delivery
+  SinkTableAgent sink_agent_;   // shared default agent on every fabric host
   bool started_ = false;
 };
 

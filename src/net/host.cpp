@@ -19,12 +19,21 @@ bool Host::send(Packet pkt) {
 
 void Host::receive(Packet pkt) {
   ++received_;
-  auto it = agents_.find(pkt.flow);
-  if (it == agents_.end()) {
-    ++undeliverable_;
-    return;  // no agent for this flow: silently discard, as an OS would
+  // Per-flow registrations win over the default agent. The empty-map guard
+  // is the population-scale fast path: a host serving 10^6 table-backed
+  // sinks never touches the hash map at all.
+  if (!agents_.empty()) {
+    auto it = agents_.find(pkt.flow);
+    if (it != agents_.end()) {
+      it->second->on_packet(pkt);
+      return;
+    }
   }
-  it->second->on_packet(pkt);
+  if (default_agent_ != nullptr) {
+    default_agent_->on_packet(pkt);
+    return;
+  }
+  ++undeliverable_;  // no agent for this flow: silently discard, as an OS would
 }
 
 }  // namespace pels

@@ -31,6 +31,14 @@ class Host : public Node {
   void register_agent(FlowId flow, Agent* agent);
   void unregister_agent(FlowId flow);
 
+  /// Fallback agent for flows with no per-flow registration (nullptr to
+  /// clear). Population-scale drivers install one shared table-backed sink
+  /// here instead of a map entry per flow — the per-flow map stays empty, so
+  /// receive() skips the hash lookup entirely and per-flow receiver state
+  /// lives in dense columns (see cc/sink_table.h). Not owned.
+  void set_default_agent(Agent* agent) { default_agent_ = agent; }
+  Agent* default_agent() const { return default_agent_; }
+
   /// Pre-sizes the flow -> agent map for `flows` registrations, so
   /// population-scale setups (100k flows multiplexed onto one sink host) do
   /// not rehash dozens of times while registering.
@@ -50,6 +58,7 @@ class Host : public Node {
  private:
   RoutingTable routing_;
   std::unordered_map<FlowId, Agent*> agents_;
+  Agent* default_agent_ = nullptr;
   std::uint64_t received_ = 0;
   std::uint64_t undeliverable_ = 0;
 };

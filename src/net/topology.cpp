@@ -77,6 +77,10 @@ std::pair<Link*, Link*> Topology::connect(Node& a, Node& b, double bandwidth_bps
 }
 
 void Topology::reserve_runtime(std::size_t expected_flows) {
+  reserve_runtime(expected_flows, expected_flows);
+}
+
+void Topology::reserve_runtime(std::size_t expected_flows, std::size_t agents_per_host) {
   // One coalesced pipeline event per link, one pacing/feedback timer pair
   // per flow, plus slack for scenario samplers and fault injectors: a
   // generous constant factor costs a few KB once, and warm-up then never
@@ -88,8 +92,10 @@ void Topology::reserve_runtime(std::size_t expected_flows) {
   for (Simulation* sim : domain_sims_) sim->scheduler().reserve(events);
   // Population-scale runs multiplex many flows onto few hosts; pre-size the
   // per-host agent maps so registration does not rehash its way up.
-  for (auto& node : nodes_) {
-    if (auto* h = dynamic_cast<Host*>(node.get())) h->reserve_agents(expected_flows);
+  if (agents_per_host > 0) {
+    for (auto& node : nodes_) {
+      if (auto* h = dynamic_cast<Host*>(node.get())) h->reserve_agents(agents_per_host);
+    }
   }
   for (auto& link : links_) {
     // Bandwidth-delay product in packets, assuming ~1000-byte packets: the

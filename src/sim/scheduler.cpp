@@ -139,6 +139,14 @@ void Scheduler::load_run(std::size_t pos, std::uint64_t abs_idx) {
     run_.push_back(e);
   }
   b.entries.clear();  // keeps capacity: buckets are pooled storage
+  // ...up to a point: storage far past the per-bucket reserve came from a
+  // concentration takeover (a pacing horizon sliding across this level fills
+  // one insertion bucket with ~the whole population). Level-0 drains are the
+  // end of that storage's life in a bucket, so return it to the spare pool
+  // here; left in place it would strand — the sliding horizon visits every
+  // bucket once per wrap, and 256 stranded population-sized buffers both
+  // starve the pool and read as unbounded wheel growth.
+  if (b.entries.capacity() > bucket_keep_capacity()) park_into_pool(b.entries);
   wheel_[0].occupancy[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
   std::sort(run_.begin(), run_.end(), [](const Entry& a, const Entry& c) {
     return a.t != c.t ? a.t < c.t : a.seq < c.seq;
@@ -178,10 +186,11 @@ void Scheduler::cascade(int level, std::size_t pos) {
     }
   }
   cascade_buf_.clear();
-  // Park the larger of the two (both empty now) as the migration spare:
-  // the next boundary bucket that fills past its reserve takes this storage
-  // over in place_in_wheel instead of growing its own.
-  if (cascade_buf_.capacity() > spare_.capacity()) std::swap(cascade_buf_, spare_);
+  // A concentrated bucket's big storage (taken over from the spare pool in
+  // place_in_wheel) leaves through here when the bucket cascades: park the
+  // scratch back into the pool so it circulates to the next concentrated
+  // bucket instead of stranding in the cascade scratch.
+  park_into_pool(cascade_buf_);
   ++cascades_;
 }
 

@@ -83,6 +83,11 @@ class Scheduler {
     std::size_t slot_capacity = 0;    // slot pool capacity (growth probe)
     std::size_t wheel_capacity = 0;   // sum of bucket capacities (growth probe)
     std::size_t run_capacity = 0;     // run buffer capacity (growth probe)
+    // Breakdown of wheel_capacity for diagnosing which tier grew: per-level
+    // bucket sums plus the pooled scratch/spare storage that circulates
+    // between buckets (wheel_capacity = sum of levels + pool).
+    std::array<std::size_t, 3> wheel_level_capacity{};
+    std::size_t wheel_pool_capacity = 0;
   };
 
   /// Current simulation time. Starts at 0.
@@ -199,12 +204,17 @@ class Scheduler {
     s.slots = slots_.size();
     s.heap_capacity = heap_.capacity();
     s.slot_capacity = slots_.capacity();
-    for (const WheelLevel& level : wheel_)
-      for (const Bucket& b : level.buckets) s.wheel_capacity += b.entries.capacity();
-    // cascade() swaps bucket storage through the scratch buffer, so the
-    // scratch counts toward the pooled wheel capacity (otherwise a swap
+    for (int l = 0; l < kWheelLevels; ++l) {
+      for (const Bucket& b : wheel_[l].buckets)
+        s.wheel_level_capacity[l] += b.entries.capacity();
+      s.wheel_capacity += s.wheel_level_capacity[l];
+    }
+    // Storage swaps between buckets, the cascade scratch, and the spare pool,
+    // so all of it counts toward the pooled wheel capacity (otherwise a swap
     // reads as spurious growth/shrink on the probe).
-    s.wheel_capacity += cascade_buf_.capacity() + spare_.capacity();
+    s.wheel_pool_capacity = cascade_buf_.capacity();
+    for (const std::vector<Entry>& sp : spares_) s.wheel_pool_capacity += sp.capacity();
+    s.wheel_capacity += s.wheel_pool_capacity;
     s.run_capacity = run_.capacity();
     return s;
   }
@@ -224,10 +234,21 @@ class Scheduler {
     // shrunk, so this is a one-time cost (~24 bytes per reserved entry per
     // level) that warmup would otherwise pay in on-demand doublings.
     const std::size_t per_bucket = events / kWheelBuckets + 4;
+    bucket_reserve_ = per_bucket;
     for (WheelLevel& level : wheel_) {
       for (Bucket& b : level.buckets) b.entries.reserve(per_bucket);
     }
     cascade_buf_.reserve(per_bucket * 8);
+    // Concentration spares: the even-spread assumption fails whenever the
+    // pacing horizon crosses a level's bucket width — the single insertion
+    // bucket at now + gap then collects ~the whole pending population, far
+    // past per_bucket. Pre-park a worst-case buffer (all events in one
+    // bucket) plus two mid-size ones so the takeover path in place_in_wheel
+    // never has to grow a bucket at runtime, even with an L1 horizon bucket,
+    // its waiting predecessor, and an L2 boundary spill alive at once.
+    spares_[0].reserve(events + 16);
+    spares_[1].reserve(events / 2 + 16);
+    spares_[2].reserve(events / 4 + 16);
   }
 
  private:
@@ -263,6 +284,12 @@ class Scheduler {
   static constexpr int kWheelShift = 17;  // log2(level-0 bucket width in ns)
   static constexpr std::uint32_t kNotInWheel = 0xffffffffu;
   static constexpr std::uint32_t kInWheel = 0;
+  /// Parked spare buffers circulating between concentrated buckets and the
+  /// cascade scratch. Sized for the worst concurrent demand observed in
+  /// practice (filling horizon bucket + waiting predecessor + period spill,
+  /// per busy level) with headroom; the pool is tiny next to the buffers it
+  /// holds, so generosity is cheap.
+  static constexpr std::size_t kSpareBuffers = 8;
 
   struct Bucket {
     std::vector<Entry> entries;  // may hold stale entries; purged at drain
@@ -338,25 +365,73 @@ class Scheduler {
     const auto pos = static_cast<std::size_t>(
         (idx0 >> (level * kWheelBits)) & (kWheelBuckets - 1));
     Bucket& b = wheel_[level].buckets[pos];
-    // Boundary buckets concentrate: every schedule issued within one pacing
-    // gap of a higher-level period boundary lands in the same next-period
-    // bucket, so that one bucket collects ~all pending timers while its
-    // neighbours stay near the per-bucket reserve. Instead of letting each
-    // period's spill bucket grow its own large vector (a capacity ratchet
-    // that walks around the level once per period), a full bucket takes over
-    // the parked storage of the last big cascade (see cascade()): one hot
-    // buffer circulates and steady state stops allocating. The test is the
-    // same size==capacity compare push_back is about to do anyway.
-    if (b.entries.size() == b.entries.capacity() &&
-        spare_.capacity() > b.entries.capacity()) {
-      assert(spare_.empty());
-      spare_.insert(spare_.end(), b.entries.begin(), b.entries.end());
-      std::swap(b.entries, spare_);
-      spare_.clear();
-    }
+    // Buckets concentrate: every schedule issued within one pacing gap of a
+    // higher-level period boundary lands in the same next-period bucket, and
+    // when the pacing horizon exceeds a level's bucket width the *insertion*
+    // bucket at now + gap collects the whole pending population as it slides
+    // across the level. Instead of letting each such bucket grow its own
+    // large vector (a capacity ratchet that walks around the level once per
+    // period), a full bucket takes over parked storage from the spare pool:
+    // a handful of hot buffers circulate and steady state stops allocating.
+    // One parked buffer is not enough — a filling L1 horizon bucket, its
+    // not-yet-cascaded predecessor, and an L2 boundary-spill bucket can all
+    // demand big storage in the same stretch, which is exactly how small
+    // configs kept growing the wheel mid-run. The capacity test is the same
+    // size==capacity compare push_back is about to do anyway.
+    if (b.entries.size() == b.entries.capacity()) take_over_spare(b);
     b.entries.push_back(e);
     wheel_[level].occupancy[pos >> 6] |= std::uint64_t{1} << (pos & 63);
     return true;
+  }
+
+  /// Moves a full bucket's entries into a parked spare buffer and swaps
+  /// storage, leaving the bucket's old vector parked in the pool. The spare
+  /// is chosen like vector growth would size it — the smallest one holding
+  /// at least 2x the bucket's size — so a lightly skewed bucket borrows a
+  /// small buffer and the big pre-parked buffers stay free for genuine
+  /// concentration (a greedy largest-first pick hands the worst-case buffer
+  /// to the first 20-entry bucket that fills, starving the population-sized
+  /// demand that arrives later). Falls back to the largest spare when none
+  /// is big enough, and to organic push_back growth when even that is no
+  /// bigger than the bucket. The copy is allocation-free: the chosen spare's
+  /// capacity strictly exceeds the bucket's, hence its size.
+  void take_over_spare(Bucket& b) {
+    const std::size_t need =
+        b.entries.size() < 4 ? 8 : b.entries.size() * 2;
+    std::vector<Entry>* chosen = nullptr;
+    std::vector<Entry>* largest = &spares_[0];
+    for (std::size_t i = 0; i < kSpareBuffers; ++i) {
+      std::vector<Entry>& sp = spares_[i];
+      if (sp.capacity() > largest->capacity()) largest = &sp;
+      if (sp.capacity() >= need && (chosen == nullptr || sp.capacity() < chosen->capacity()))
+        chosen = &sp;
+    }
+    if (chosen == nullptr) chosen = largest;
+    if (chosen->capacity() <= b.entries.capacity()) return;
+    chosen->clear();
+    chosen->insert(chosen->end(), b.entries.begin(), b.entries.end());
+    b.entries.swap(*chosen);
+    chosen->clear();  // old bucket storage, now parked with capacity intact
+  }
+
+  /// Parks an empty vector's storage into the spare pool by displacing the
+  /// smallest parked buffer (when `v` is the bigger of the two). This is how
+  /// big buffers circulate back after their bucket drains or cascades —
+  /// without it they strand in cleared-not-shrunk buckets and starve the
+  /// pool.
+  void park_into_pool(std::vector<Entry>& v) {
+    std::vector<Entry>* smallest = &spares_[0];
+    for (std::size_t i = 1; i < kSpareBuffers; ++i) {
+      if (spares_[i].capacity() < smallest->capacity()) smallest = &spares_[i];
+    }
+    if (v.capacity() > smallest->capacity()) v.swap(*smallest);
+  }
+
+  /// A drained bucket keeps storage up to this cap; anything bigger came
+  /// from a concentration takeover and is returned to the pool.
+  std::size_t bucket_keep_capacity() const {
+    const std::size_t floor = 64;
+    return bucket_reserve_ * 2 > floor ? bucket_reserve_ * 2 : floor;
   }
 
   /// Ensures the globally next live event (if any) is at the run head or the
@@ -390,6 +465,7 @@ class Scheduler {
   std::uint64_t cascades_ = 0;
   std::size_t pending_ = 0;
   bool wheel_enabled_ = true;
+  std::size_t bucket_reserve_ = 0;   // per-bucket reserve() size (keep cap)
   std::size_t wheel_live_ = 0;       // live entries in wheel buckets or
                                      // staged in the run buffer
   std::int64_t run_bucket_ = -1;     // last drained level-0 bucket index
@@ -398,8 +474,11 @@ class Scheduler {
   std::size_t run_pos_ = 0;          // consumption cursor into run_
   std::array<WheelLevel, kWheelLevels> wheel_;
   std::vector<Entry> cascade_buf_;   // scratch for cascade() (reused)
-  std::vector<Entry> spare_;         // parked storage for boundary spill
-                                     // buckets (see place_in_wheel)
+  // Parked storage pool for concentrated buckets (see place_in_wheel and
+  // reserve()). Several buffers because several buckets can need big storage
+  // concurrently; extra slots beyond the pre-parked three let organically
+  // grown buffers retire into the pool instead of shrinking.
+  std::array<std::vector<Entry>, kSpareBuffers> spares_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
 };

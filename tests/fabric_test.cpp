@@ -201,9 +201,127 @@ TEST(FabricTest, ManyFlowDriverIsDeterministic) {
   EXPECT_EQ(run(), run());
 }
 
-TEST(FabricTest, ManyFlowDriverRejectsMultiDomainFabrics) {
+TEST(FabricTest, ManyFlowDriverSlotReuseKeepsLiveFlowsCorrect) {
+  // Two waves of bounded mice around one unbounded video flow: the second
+  // wave must reuse the first wave's freed slots (no column growth), and
+  // live_flows() must settle back to just the video flow.
+  Fabric f(parking_lot(1));
+  std::vector<FlowSpec> specs;
+  FlowSpec video;
+  video.cls = TrafficClass::kVideo;
+  video.src_host = 0;
+  video.dst_host = 1;
+  video.rate_bps = 128e3;
+  specs.push_back(video);
+  for (int wave = 0; wave < 2; ++wave) {
+    for (int i = 0; i < 4; ++i) {
+      FlowSpec mouse;
+      mouse.cls = TrafficClass::kMice;
+      mouse.src_host = 0;
+      mouse.dst_host = 1;
+      mouse.start = wave * kSecond;
+      mouse.rate_bps = 400e3;
+      mouse.total_bytes = 3000;  // 3 packets, done in ~60 ms
+      specs.push_back(mouse);
+    }
+  }
+  ManyFlowDriver driver(f, std::move(specs), ManyFlowDriverConfig{});
+  f.reserve_runtime(driver.flow_count());
+  driver.start();
+  driver.run_until(3 * kSecond);
+
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < driver.flow_count(); ++i) {
+    if (driver.flow_done(i)) ++done;
+  }
+  EXPECT_EQ(done, 8u);  // every mouse reached flow_done
+  EXPECT_EQ(driver.live_flows(), 1u);
+  // High-water concurrency was wave 1 (video + 4 mice); wave 2 reused the
+  // freed slots instead of growing the columns.
+  EXPECT_LE(driver.flow_table().capacity(), 5u);
+}
+
+TEST(FabricTest, ManyFlowDriverRunUntilRejectsMultiDomainFabrics) {
+  // Multi-domain fabrics are accepted (that is the point of sharding) but
+  // must be driven through a DomainRunner, not the in-place run_until.
   Fabric f(fat_tree(2, 1, 1, /*domain_per_pod=*/true));
-  EXPECT_THROW(ManyFlowDriver(f, {}, ManyFlowDriverConfig{}), std::invalid_argument);
+  ManyFlowDriver driver(f, {}, ManyFlowDriverConfig{});
+  driver.start();
+  EXPECT_THROW(driver.run_until(kSecond), std::logic_error);
+}
+
+TEST(FabricTest, ManyFlowDriverShardsPartitionBySourceDomain) {
+  Fabric f(fat_tree(2, 2, 2, /*domain_per_pod=*/true));
+  MixedTrafficConfig mix;
+  mix.video_flows = 10;
+  mix.mice_flows = 5;
+  mix.seed = 11;
+  ManyFlowDriver driver(f, gen_mixed_traffic(f, mix), ManyFlowDriverConfig{});
+  ASSERT_EQ(driver.shard_count(), 3u);  // core + 2 pods
+  // The core domain owns no hosts, so its shard owns no flows; the pod
+  // shards' tables grow to their own populations once everything activates.
+  driver.start();
+  DomainRunner runner(f.topology(), 1);
+  runner.run_until(2 * kSecond);
+  EXPECT_EQ(driver.flow_table(0).capacity(), 0u);
+  EXPECT_GT(driver.flow_table(1).capacity(), 0u);
+  EXPECT_GT(driver.flow_table(2).capacity(), 0u);
+}
+
+TEST(FabricTest, ManyFlowDriverShardedFatTreeByteIdenticalAcrossThreads) {
+  // The tentpole pin: one driver shard per pod under DomainRunner, and the
+  // end state (per-flow sends, rate/gamma bit patterns, deliveries) is
+  // byte-identical whatever the thread count. Threads beyond the hardware
+  // (8 on CI boxes) exercise oversubscription clamping too.
+  const auto run = [](std::size_t threads) {
+    Fabric f(fat_tree(2, 2, 2, /*domain_per_pod=*/true));
+    MixedTrafficConfig mix;
+    mix.video_flows = 12;
+    mix.mice_flows = 8;
+    mix.elephant_flows = 2;
+    mix.seed = 7;
+    ManyFlowDriverConfig cfg;
+    ManyFlowDriver driver(f, gen_mixed_traffic(f, mix), cfg);
+    f.reserve_runtime(driver.flow_count());
+    driver.start();
+    DomainRunner runner(f.topology(), threads);
+    runner.run_until(4 * kSecond);
+    EXPECT_GT(runner.stats().handoffs, 0u);  // cross-pod feedback flowed
+    return std::tuple{driver.fingerprint(), driver.packets_sent(),
+                      driver.packets_received(), driver.bytes_received()};
+  };
+  const auto serial = run(1);
+  EXPECT_GT(std::get<1>(serial), 1000u);
+  EXPECT_GT(std::get<2>(serial), 0u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(FabricTest, ManyFlowDriverClassCountsSplitTheMix) {
+  Fabric f(parking_lot(2));
+  MixedTrafficConfig mix;
+  mix.video_flows = 6;
+  mix.mice_flows = 4;
+  mix.elephant_flows = 2;
+  ManyFlowDriver driver(f, gen_mixed_traffic(f, mix), ManyFlowDriverConfig{});
+  f.reserve_runtime(driver.flow_count());
+  driver.start();
+  driver.run_until(4 * kSecond);
+
+  const auto video = driver.class_counts(TrafficClass::kVideo);
+  const auto mice = driver.class_counts(TrafficClass::kMice);
+  const auto elephants = driver.class_counts(TrafficClass::kElephant);
+  EXPECT_EQ(video.flows, 6u);
+  EXPECT_EQ(mice.flows, 4u);
+  EXPECT_EQ(elephants.flows, 2u);
+  EXPECT_GT(video.packets_delivered, 0u);
+  EXPECT_GT(video.bytes_delivered, video.packets_delivered);  // >1 B packets
+  EXPECT_EQ(video.packets_sent + mice.packets_sent + elephants.packets_sent,
+            driver.packets_sent());
+  EXPECT_EQ(video.packets_delivered + mice.packets_delivered + elephants.packets_delivered,
+            driver.packets_received());
+  EXPECT_EQ(video.bytes_delivered + mice.bytes_delivered + elephants.bytes_delivered,
+            driver.bytes_received());
 }
 
 }  // namespace

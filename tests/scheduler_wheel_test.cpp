@@ -147,6 +147,35 @@ TEST(SchedulerWheelTest, RunUntilStopsBetweenBuckets) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(SchedulerWheelTest, ConcentratedPacingHorizonDoesNotGrowWheelAfterReserve) {
+  // The even-spread bucket reserve is wrong on purpose for this workload: a
+  // pacing gap wider than a level's bucket width concentrates the whole
+  // population into the sliding insertion bucket (here 1000 synchronized
+  // 50 ms timers, landing one level up), so steady state leans on the spare
+  // pool — takeover on fill, park on drain/cascade. After reserve(), the
+  // total wheel capacity (buckets + pool; swaps conserve it) must not move,
+  // even across level-1/level-2 period boundaries (8.6 s), and nothing may
+  // leak into unbounded ratchet growth over many wraps.
+  Scheduler sched;
+  sched.reserve(4096);
+  struct Rearm {
+    Scheduler* sched;
+    void operator()() const {
+      Scheduler* s = sched;
+      s->schedule_in(from_millis(50), Rearm{s});
+    }
+  };
+  for (int i = 0; i < 1000; ++i) sched.schedule_in(from_millis(50), Rearm{&sched});
+  sched.run_until(from_seconds(2));  // settle: pool buffers find their buckets
+  const Scheduler::Stats settled = sched.stats();
+  sched.run_until(from_seconds(30));  // 3+ level-1 wraps
+  const Scheduler::Stats after = sched.stats();
+  EXPECT_EQ(after.wheel_capacity, settled.wheel_capacity);
+  EXPECT_EQ(after.heap_capacity, settled.heap_capacity);
+  EXPECT_EQ(after.run_capacity, settled.run_capacity);
+  EXPECT_EQ(after.slot_capacity, settled.slot_capacity);
+}
+
 // The regression the ISSUE gates on: a full dumbbell scenario (the machinery
 // under every paper figure) must produce byte-identical trajectories with
 // the wheel enabled and disabled. Any divergence — one tie broken

@@ -30,9 +30,15 @@ binary itself.
 The many-flows harness (--manyflows-current, BENCH_manyflows.json from
 bench/many_flows) is gated on current-run invariants — the bench carries its
 own acceptance bars, so no baseline file is needed:
-  - many_flows.large.flows >= 100000 (the scale claim must actually be run);
+  - many_flows.large.flows >= 100000 and many_flows.huge.flows >= 1000000
+    (the scale claims must actually be run);
   - many_flows.cost_ratio <= --cost-ratio-max (default 1.5): per-packet cost
     at 100k flows must stay within 1.5x of 1k flows — flat-cost scaling;
+  - many_flows.huge_cost_ratio <= --huge-cost-ratio-max (default 2.0): the
+    10^6-flow population may pay at most 2x the 1k per-packet cost;
+  - bytes_per_flow <= bytes_per_flow_budget (stated in the artifact) at
+    every population size: the driver's per-flow footprint stays on its
+    memory diet;
   - scheduler_tiers speedup at the largest pending population >=
     --min-tier-speedup (default 3.0): the two-tier queue must beat the
     heap-only baseline by 3x at 10^6 pending timers. Smoke runs (single-rep
@@ -42,11 +48,20 @@ own acceptance bars, so no baseline file is needed:
   - wheel throughput at every pending >= 100000 must reach --min-wheel-eps
     events/s (default 2e6), an absolute backstop so a "wins the ratio by
     being uniformly slow" regression cannot pass;
-  - many_flows.large.allocs_per_packet <= 0.01 and every
-    scheduler_*_capacity_growth == 0 at 100k flows: the steady state neither
+  - allocs_per_packet <= 0.01 and every scheduler_*_capacity_growth == 0 at
+    EVERY population size (wheel included): the steady state neither
     allocates nor grows a pre-sized pool (the bench exits non-zero on these
     too; the gate re-checks the artifact so CI fails loudly even if the
-    bench's own exit status is swallowed).
+    bench's own exit status is swallowed);
+  - sharded.byte_identical: the domain-sharded driver's end state must be
+    byte-identical across DomainRunner thread counts;
+  - sharded runs with >= 2 effective, non-hw-clamped workers must reach
+    --min-shard-speedup (default 0.8x) over serial — same contract as the
+    sweep gate: parallelism that makes the run slower is a dispatch
+    regression. Per-worker speedup is recorded as an annotation, and
+    hw-clamped entries are exempt (the clamp makes them duplicates of the
+    at-hardware point). On a single-core box the check is skipped with a
+    notice — there is nothing to scale.
 
 The chaos harness (--chaos-current, BENCH_chaos.json from bench/chaos_sweep)
 is gated on current-run invariants only — there is no meaningful baseline for
@@ -255,9 +270,10 @@ def check_manyflows_schema(doc: dict) -> list[str]:
     if not isinstance(mf, dict):
         errors.append("manyflows: missing section 'many_flows'")
         return errors
-    if "cost_ratio" not in mf:
-        errors.append("manyflows: missing many_flows.cost_ratio")
-    for side in ("small", "large"):
+    for k in ("cost_ratio", "huge_cost_ratio", "bytes_per_flow_budget"):
+        if k not in mf:
+            errors.append(f"manyflows: missing many_flows.{k}")
+    for side in ("small", "large", "huge"):
         sub = mf.get(side)
         if not isinstance(sub, dict):
             errors.append(f"manyflows: missing many_flows.{side}")
@@ -266,14 +282,84 @@ def check_manyflows_schema(doc: dict) -> list[str]:
             "flows", "packets", "ns_per_packet", "allocs_per_packet",
             "scheduler_heap_capacity_growth", "scheduler_slot_capacity_growth",
             "scheduler_wheel_capacity_growth", "scheduler_run_capacity_growth",
+            "bytes_per_flow",
         ):
             if k not in sub:
                 errors.append(f"manyflows: missing many_flows.{side}.{k}")
+    sharded = doc.get("sharded")
+    if not isinstance(sharded, dict):
+        errors.append("manyflows: missing section 'sharded'")
+        return errors
+    for k in ("hardware_concurrency", "byte_identical"):
+        if k not in sharded:
+            errors.append(f"manyflows: missing sharded.{k}")
+    runs = sharded.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("manyflows: sharded.runs must be a non-empty list")
+    else:
+        for i, r in enumerate(runs):
+            for k in ("requested_threads", "effective_threads", "wall_ms",
+                      "speedup_vs_serial", "per_worker_speedup"):
+                if k not in r:
+                    errors.append(f"manyflows: missing sharded.runs[{i}].{k}")
     return errors
 
 
+def check_shard_scaling(sharded: dict, min_speedup: float) -> int:
+    """Gate the sharded driver's DomainRunner scaling; returns failure count.
+
+    Mirrors check_scaling's contract: the floor is speedup over serial (a
+    parallel run materially slower than serial is a dispatch regression),
+    per-worker speedup is printed as an annotation only, hw-clamped entries
+    (effective < requested) are exempt, and a single-core box skips with a
+    notice.
+    """
+    failures = 0
+    hw = int(sharded.get("hardware_concurrency", 0))
+    if hw < 2:
+        print(
+            f"shard scaling gate: SKIPPED (hardware_concurrency = {hw}; a "
+            "single-core box has nothing to scale)"
+        )
+        return 0
+    gated = 0
+    for r in sharded["runs"]:
+        requested = int(r["requested_threads"])
+        effective = int(r["effective_threads"])
+        speedup = float(r["speedup_vs_serial"])
+        per_worker = float(r["per_worker_speedup"])
+        if effective < 2:
+            continue
+        if effective < requested:
+            print(
+                f"shard scaling gate: threads={requested} hw-clamped to "
+                f"{effective} workers — annotated, not gated"
+            )
+            continue
+        gated += 1
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"shard scaling gate: {effective} workers, speedup "
+            f"{speedup:.2f}x over serial ({per_worker:.2f}x/worker; floor "
+            f"{min_speedup:.2f}x) {verdict}"
+        )
+        if speedup < min_speedup:
+            fail(
+                f"sharded run at {effective} workers is {speedup:.2f}x serial "
+                f"< {min_speedup:.2f}x: domain parallelism is eating its own gains"
+            )
+            failures += 1
+    if gated == 0 and failures == 0:
+        print(
+            "shard scaling gate: SKIPPED (no entry with >= 2 effective, "
+            "non-clamped workers)"
+        )
+    return failures
+
+
 def check_manyflows(doc: dict, cost_ratio_max: float, min_tier_speedup: float,
-                    min_wheel_eps: float) -> int:
+                    min_wheel_eps: float, huge_ratio_max: float = 2.0,
+                    min_shard_speedup: float = 0.8) -> int:
     """Gate the many-flows JSON on its own acceptance bars; returns exit code."""
     errors = check_manyflows_schema(doc)
     if errors:
@@ -284,12 +370,20 @@ def check_manyflows(doc: dict, cost_ratio_max: float, min_tier_speedup: float,
     failures = 0
     mf = doc["many_flows"]
     large = mf["large"]
+    huge = mf["huge"]
 
     flows = int(large["flows"])
     print(f"many-flows scale: {flows} simultaneous sources "
           f"({large['packets']} packets measured)")
     if flows < 100000:
         fail(f"many_flows.large.flows = {flows} < 100000: the scale claim was not run")
+        failures += 1
+    huge_flows = int(huge["flows"])
+    print(f"many-flows scale: {huge_flows} simultaneous sources "
+          f"({huge['packets']} packets measured)")
+    if huge_flows < 1000000:
+        fail(f"many_flows.huge.flows = {huge_flows} < 1000000: the 10^6 claim "
+             "was not run")
         failures += 1
 
     ratio = float(mf["cost_ratio"])
@@ -304,6 +398,29 @@ def check_manyflows(doc: dict, cost_ratio_max: float, min_tier_speedup: float,
             "cost is no longer flat in the flow population"
         )
         failures += 1
+
+    huge_ratio = float(mf["huge_cost_ratio"])
+    print(
+        f"flat-cost: {float(huge['ns_per_packet']):.0f} ns/packet at "
+        f"{huge_flows} -> ratio {huge_ratio:.3f} (max {huge_ratio_max:.2f})"
+    )
+    if huge_ratio > huge_ratio_max:
+        fail(
+            f"many_flows.huge_cost_ratio = {huge_ratio:.3f} > {huge_ratio_max}: "
+            "the 10^6-flow population pays more than the budgeted per-packet cost"
+        )
+        failures += 1
+
+    budget = float(mf["bytes_per_flow_budget"])
+    for side in ("small", "large", "huge"):
+        bpf = float(mf[side]["bytes_per_flow"])
+        verdict = "ok" if bpf <= budget else "FAIL"
+        print(f"driver footprint at {mf[side]['flows']} flows: {bpf:.1f} "
+              f"bytes/flow (budget {budget:.0f}) {verdict}")
+        if bpf > budget:
+            fail(f"many_flows.{side}.bytes_per_flow = {bpf:.1f} > {budget:.0f}: "
+                 "the per-flow memory diet regressed")
+            failures += 1
 
     tiers = sorted(doc["scheduler_tiers"], key=lambda t: int(t["pending"]))
     top = tiers[-1]
@@ -346,28 +463,41 @@ def check_manyflows(doc: dict, cost_ratio_max: float, min_tier_speedup: float,
             )
             failures += 1
 
-    app = float(large["allocs_per_packet"])
-    print(f"alloc probe at {flows} flows: {app:.4f} allocs/packet (limit 0.01)")
-    if app > 0.01:
-        fail(f"many_flows.large.allocs_per_packet = {app} > 0.01: "
-             "the steady state allocates again")
-        failures += 1
+    for side in ("small", "large", "huge"):
+        sub = mf[side]
+        app = float(sub["allocs_per_packet"])
+        print(f"alloc probe at {sub['flows']} flows: {app:.4f} allocs/packet "
+              "(limit 0.01)")
+        if app > 0.01:
+            fail(f"many_flows.{side}.allocs_per_packet = {app} > 0.01: "
+                 "the steady state allocates again")
+            failures += 1
 
-    growths = {
-        k: int(large[k])
-        for k in (
-            "scheduler_heap_capacity_growth", "scheduler_slot_capacity_growth",
-            "scheduler_wheel_capacity_growth", "scheduler_run_capacity_growth",
-        )
-    }
-    grew = {k: v for k, v in growths.items() if v != 0}
-    print(f"pool growth at {flows} flows: "
-          + ", ".join(f"{k.split('_')[1]} +{v}" for k, v in growths.items()))
-    if grew:
-        for k, v in grew.items():
-            fail(f"many_flows.large.{k} = {v} != 0: a pre-sized scheduler pool "
-                 "grew mid-window (reserve_runtime under-sizes)")
+        growths = {
+            k: int(sub[k])
+            for k in (
+                "scheduler_heap_capacity_growth", "scheduler_slot_capacity_growth",
+                "scheduler_wheel_capacity_growth", "scheduler_run_capacity_growth",
+            )
+        }
+        grew = {k: v for k, v in growths.items() if v != 0}
+        print(f"pool growth at {sub['flows']} flows: "
+              + ", ".join(f"{k.split('_')[1]} +{v}" for k, v in growths.items()))
+        if grew:
+            for k, v in grew.items():
+                fail(f"many_flows.{side}.{k} = {v} != 0: a pre-sized scheduler "
+                     "pool grew mid-window (reserve_runtime under-sizes)")
+            failures += 1
+
+    sharded = doc["sharded"]
+    identical = bool(sharded["byte_identical"])
+    print(f"sharded determinism: {len(sharded['runs'])} thread counts, "
+          f"byte-identical = {identical}")
+    if not identical:
+        fail("sharded.byte_identical is false: the domain-sharded driver's end "
+             "state diverged across DomainRunner thread counts")
         failures += 1
+    failures += check_shard_scaling(sharded, min_shard_speedup)
 
     if failures == 0:
         print("bench_compare: many-flows PASS")
@@ -519,6 +649,8 @@ def manyflows_selftest_doc() -> dict:
             "scheduler_slot_capacity_growth": 0,
             "scheduler_wheel_capacity_growth": 0,
             "scheduler_run_capacity_growth": 0,
+            "driver_bytes": flows * 198,
+            "bytes_per_flow": 198.0,
         }
 
     return {
@@ -536,7 +668,22 @@ def manyflows_selftest_doc() -> dict:
         "many_flows": {
             "small": side(1000, 520.0, 0.0002),
             "large": side(100000, 545.0, 0.0),
+            "huge": side(1000000, 610.0, 0.0),
             "cost_ratio": 1.05,
+            "huge_cost_ratio": 1.17,
+            "bytes_per_flow_budget": 256,
+        },
+        "sharded": {
+            "hardware_concurrency": 8,
+            "byte_identical": True,
+            "runs": [
+                {"requested_threads": 1, "effective_threads": 1, "wall_ms": 100.0,
+                 "speedup_vs_serial": 1.0, "per_worker_speedup": 1.0},
+                {"requested_threads": 2, "effective_threads": 2, "wall_ms": 56.0,
+                 "speedup_vs_serial": 1.79, "per_worker_speedup": 0.89},
+                {"requested_threads": 5, "effective_threads": 5, "wall_ms": 32.0,
+                 "speedup_vs_serial": 3.12, "per_worker_speedup": 0.62},
+            ],
         },
     }
 
@@ -689,6 +836,68 @@ def selftest() -> int:
         fail("selftest: under-scale run not detected")
         return 1
 
+    print("--- selftest: under-scale 10^6 run must fail")
+    shy = manyflows_selftest_doc()
+    shy["many_flows"]["huge"]["flows"] = 500000
+    if check_manyflows(shy, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: under-scale 10^6 run not detected")
+        return 1
+
+    print("--- selftest: superlinear 10^6 per-packet cost must fail")
+    ballooning = manyflows_selftest_doc()
+    ballooning["many_flows"]["huge_cost_ratio"] = 2.4
+    if check_manyflows(ballooning, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: 10^6 cost-ratio regression not detected")
+        return 1
+
+    print("--- selftest: pool growth at 10^6 flows must fail")
+    bulging = manyflows_selftest_doc()
+    bulging["many_flows"]["huge"]["scheduler_wheel_capacity_growth"] = 7543
+    if check_manyflows(bulging, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: 10^6 pool-growth regression not detected")
+        return 1
+
+    print("--- selftest: bytes/flow over budget must fail")
+    obese = manyflows_selftest_doc()
+    obese["many_flows"]["huge"]["bytes_per_flow"] = 412.0
+    if check_manyflows(obese, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: bytes/flow regression not detected")
+        return 1
+
+    print("--- selftest: shard fingerprint divergence must fail")
+    forked = manyflows_selftest_doc()
+    forked["sharded"]["byte_identical"] = False
+    if check_manyflows(forked, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: shard divergence not detected")
+        return 1
+
+    print("--- selftest: sharded run slower than serial must fail")
+    crawly = manyflows_selftest_doc()
+    crawly["sharded"]["runs"][1]["speedup_vs_serial"] = 0.55
+    if check_manyflows(crawly, 1.5, 3.0, 2e6) != 1:
+        fail("selftest: shard scaling regression not detected")
+        return 1
+
+    print("--- selftest: hw-clamped sharded entry below floor must NOT fail")
+    pinched = manyflows_selftest_doc()
+    pinched["sharded"]["hardware_concurrency"] = 2
+    pinched["sharded"]["runs"][2]["effective_threads"] = 2
+    pinched["sharded"]["runs"][2]["speedup_vs_serial"] = 0.5
+    if check_manyflows(pinched, 1.5, 3.0, 2e6) != 0:
+        fail("selftest: hw-clamped shard entry was gated despite annotation")
+        return 1
+
+    print("--- selftest: single-core box must skip the shard scaling gate")
+    solo = manyflows_selftest_doc()
+    solo["sharded"]["hardware_concurrency"] = 1
+    for entry in solo["sharded"]["runs"]:
+        entry["effective_threads"] = 1
+        entry["speedup_vs_serial"] = 0.93
+        entry["per_worker_speedup"] = 0.93
+    if check_manyflows(solo, 1.5, 3.0, 2e6) != 0:
+        fail("selftest: hw=1 run did not skip the shard scaling gate")
+        return 1
+
     print("--- selftest: clean chaos run must pass")
     if check_chaos(chaos_selftest_doc(), 0.06) != 0:
         fail("selftest: clean chaos run did not pass")
@@ -786,6 +995,19 @@ def main() -> int:
         help="min wheel events/s at every pending >= 100000 (default 2e6)",
     )
     ap.add_argument(
+        "--huge-cost-ratio-max",
+        type=float,
+        default=2.0,
+        help="max many_flows per-packet cost ratio 1M/1k flows (default 2.0)",
+    )
+    ap.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=0.8,
+        help="minimum sharded-driver speedup over serial at >= 2 effective "
+        "workers (default 0.8; skipped when hardware_concurrency < 2)",
+    )
+    ap.add_argument(
         "--monitor-budget",
         type=float,
         default=0.06,
@@ -809,7 +1031,8 @@ def main() -> int:
         rc = max(rc, check_chaos(load(args.chaos_current), args.monitor_budget))
     if args.manyflows_current:
         rc = max(rc, check_manyflows(load(args.manyflows_current), args.cost_ratio_max,
-                                     args.min_tier_speedup, args.min_wheel_eps))
+                                     args.min_tier_speedup, args.min_wheel_eps,
+                                     args.huge_cost_ratio_max, args.min_shard_speedup))
     return rc
 
 

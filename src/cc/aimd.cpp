@@ -24,4 +24,14 @@ void AimdController::on_router_feedback(double p, SimTime now) {
   rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
 }
 
+void AimdController::on_mark_fraction(double f, SimTime now) {
+  if (f <= 0.0) return;
+  if (last_decrease_ == kTimeNever || now - last_decrease_ >= cfg_.backoff_guard) {
+    rate_ = std::clamp(rate_ * cfg_.decrease_factor, cfg_.min_rate_bps,
+                       cfg_.max_rate_bps);
+    last_decrease_ = now;
+    ++decreases_;
+  }
+}
+
 }  // namespace pels

@@ -27,6 +27,10 @@ class AimdController : public CongestionController {
 
   double rate_bps() const override { return rate_; }
   void on_router_feedback(double p, SimTime now) override;
+  /// ECN marks back off like congestion feedback (marked-not-dropped packets
+  /// must reduce the rate), under the same one-per-guard-interval spacing so
+  /// a marked interval that also carries positive feedback halves once.
+  void on_mark_fraction(double f, SimTime now) override;
   void set_rtt(SimTime rtt) override { cfg_.backoff_guard = rtt; }
   const char* name() const override { return "AIMD"; }
 

@@ -53,6 +53,13 @@ class CongestionController {
   /// Smoothed round-trip estimate, for controllers that need one (TFRC).
   virtual void set_rtt(SimTime rtt) { (void)rtt; }
 
+  /// End of a source control interval, called once per tick after the
+  /// interval's feedback/loss/mark deliveries. Clocked controllers (CUBIC's
+  /// window growth, Swift's gradient, SCReAM's reference-rate shaping) run
+  /// their periodic update here; event-driven controllers (MKC, AIMD, TFRC,
+  /// REM, DCQCN) ignore it — the default keeps their dynamics untouched.
+  virtual void on_control_tick(SimTime now) { (void)now; }
+
   /// Controller name for traces and tables.
   virtual const char* name() const = 0;
 

@@ -1,0 +1,90 @@
+#include "cc/cubic.h"
+
+#include <cassert>
+
+#include "cc/flow_table.h"
+
+namespace pels {
+
+CubicController::CubicController(CubicConfig config)
+    : cfg_(config),
+      rate_(cubic_rate_from_cwnd(config, config.initial_cwnd_pkts, 0)),
+      cwnd_(config.initial_cwnd_pkts) {
+  assert(cfg_.c > 0.0);
+  assert(cfg_.beta > 0.0 && cfg_.beta < 1.0);
+  assert(cfg_.ecn_beta > 0.0 && cfg_.ecn_beta < 1.0);
+  assert(cfg_.mss_bytes > 0.0);
+  assert(cfg_.min_cwnd_pkts > 0.0 && cfg_.min_cwnd_pkts <= cfg_.initial_cwnd_pkts);
+  assert(cfg_.initial_rtt > 0);
+}
+
+CubicController::CubicController(FlowTable& table, FlowSlot slot)
+    : cfg_(table.zoo_config().cubic),
+      table_(&table),
+      slot_(slot),
+      rate_(cubic_rate_from_cwnd(cfg_, cfg_.initial_cwnd_pkts, 0)),
+      cwnd_(cfg_.initial_cwnd_pkts) {
+  assert(table.is_live(slot) && "table-backed controller needs an allocated slot");
+  assert(table.kind(slot) == CcKind::kCubic && "slot must be allocated as kCubic");
+}
+
+double CubicController::rate_bps() const {
+  return table_ != nullptr ? table_->rate_bps(slot_) : rate_;
+}
+
+double CubicController::cwnd_pkts() const {
+  return table_ != nullptr ? table_->cubic_cwnd(slot_) : cwnd_;
+}
+
+double CubicController::w_max() const {
+  return table_ != nullptr ? table_->cubic_wmax(slot_) : w_max_;
+}
+
+SimTime CubicController::srtt() const {
+  return table_ != nullptr ? table_->srtt(slot_) : srtt_;
+}
+
+void CubicController::on_loss_interval(double p, SimTime now) {
+  if (p <= 0.0) return;
+  if (table_ != nullptr) {
+    table_->apply_loss_interval(slot_, p, now);
+    return;
+  }
+  cubic_event_step(cfg_, cfg_.beta, now, srtt_, cwnd_, w_max_, k_, epoch_start_, rate_);
+}
+
+void CubicController::on_mark_fraction(double f, SimTime now) {
+  if (f <= 0.0) return;
+  if (table_ != nullptr) {
+    table_->apply_mark_fraction(slot_, f, now);
+    return;
+  }
+  cubic_event_step(cfg_, cfg_.ecn_beta, now, srtt_, cwnd_, w_max_, k_, epoch_start_,
+                   rate_);
+}
+
+void CubicController::on_control_tick(SimTime now) {
+  if (table_ != nullptr) {
+    table_->apply_control_tick(slot_, now);
+    return;
+  }
+  cubic_tick_step(cfg_, now, srtt_, cwnd_, w_max_, k_, epoch_start_, rate_);
+}
+
+void CubicController::set_rtt(SimTime rtt) {
+  if (rtt <= 0) return;
+  if (table_ != nullptr) {
+    table_->apply_rtt(slot_, rtt);
+    return;
+  }
+  srtt_ = rtt;
+}
+
+void CubicController::register_metrics(MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  CongestionController::register_metrics(registry, prefix);
+  registry.add_probe(prefix + ".cubic_cwnd_pkts", [this] { return cwnd_pkts(); });
+  registry.add_probe(prefix + ".cubic_wmax_pkts", [this] { return w_max(); });
+}
+
+}  // namespace pels

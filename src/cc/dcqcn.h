@@ -1,0 +1,93 @@
+// DCQCN-style ECN rate controller (Zhu et al., SIGCOMM 2015), interval port.
+//
+// The NIC-style rate machine keeps a current rate RC, a target rate RT, and a
+// congestion estimate alpha. A marked interval (the receiver echoed at least
+// one CE mark) cuts RC by alpha/2, remembers the pre-cut rate as RT, and
+// grows alpha; an unmarked interval decays alpha and recovers: for the first
+// `fast_recovery_stages` intervals RC halves its gap to RT (fast recovery),
+// afterwards RT itself rises additively by `rate_ai_bps` (active increase).
+//
+// The original reacts per CNP on a microsecond timer; this port reacts per
+// PELS control interval using the receiver's echoed mark fraction, which
+// preserves the state machine (the alpha/2 cut, the (RT+RC)/2 recovery, the
+// EWMA alpha) at the cadence the rest of the zoo runs at. Losses are treated
+// like marked intervals: the reproduction's paths are lossy, and a DCQCN that
+// ignored loss would be blind outside its native lossless fabric.
+//
+// Kernel contract (see cc/mkc.h): free inline kernels on caller-owned
+// scalars; DcqcnController applies them to members, FlowTable to columns —
+// bit-for-bit identical, pinned by tests/cc_zoo_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cc/controller.h"
+
+namespace pels {
+
+class FlowTable;
+using FlowSlot = std::uint32_t;
+
+struct DcqcnConfig {
+  double alpha_g = 1.0 / 16.0;  // alpha EWMA gain (the paper's g)
+  double initial_alpha = 1.0;   // start conservative: first cut halves RC
+  double rate_ai_bps = 40e3;    // additive target increase per stage
+  int fast_recovery_stages = 5; // stages before active increase begins
+  double initial_rate_bps = 128e3;
+  double min_rate_bps = 1e3;
+  double max_rate_bps = 1e9;
+};
+
+/// Marked interval: RT <- RC, RC <- RC (1 - alpha/2), alpha grows toward 1.
+inline void dcqcn_mark_step(const DcqcnConfig& cfg, double& rate, double& target,
+                            double& alpha, std::int32_t& stage) {
+  target = rate;
+  rate = std::max(rate * (1.0 - alpha / 2.0), cfg.min_rate_bps);
+  alpha = (1.0 - cfg.alpha_g) * alpha + cfg.alpha_g;
+  stage = 0;
+}
+
+/// Unmarked interval: alpha decays by (1 - g); fast recovery halves the gap
+/// to RT, then active increase raises RT additively.
+inline void dcqcn_increase_step(const DcqcnConfig& cfg, double& rate, double& target,
+                                double& alpha, std::int32_t& stage) {
+  alpha = (1.0 - cfg.alpha_g) * alpha;
+  ++stage;
+  if (stage > cfg.fast_recovery_stages)
+    target = std::min(target + cfg.rate_ai_bps, cfg.max_rate_bps);
+  rate = std::min(0.5 * (target + rate), cfg.max_rate_bps);
+}
+
+class DcqcnController : public CongestionController {
+ public:
+  explicit DcqcnController(DcqcnConfig config);
+  /// Table-backed controller (see cc/flow_table.h): hot state lives in the
+  /// table's columns at `slot`, which must be a kDcqcn slot.
+  DcqcnController(FlowTable& table, FlowSlot slot);
+
+  double rate_bps() const override;
+  /// Router labels are MKC's signal; DCQCN steers by the ECN echo stream.
+  void on_router_feedback(double /*p*/, SimTime /*now*/) override {}
+  void on_loss_interval(double p, SimTime now) override;
+  void on_mark_fraction(double f, SimTime now) override;
+  const char* name() const override { return "DCQCN"; }
+  void register_metrics(MetricsRegistry& registry, const std::string& prefix) override;
+
+  double alpha() const;
+  double target_rate_bps() const;
+  std::int32_t recovery_stage() const;
+
+  const DcqcnConfig& config() const { return cfg_; }
+
+ private:
+  DcqcnConfig cfg_;
+  FlowTable* table_ = nullptr;  // non-null: state lives in the table columns
+  FlowSlot slot_ = 0;
+  double rate_;
+  double target_;
+  double alpha_;
+  std::int32_t stage_ = 0;
+};
+
+}  // namespace pels

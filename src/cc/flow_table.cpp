@@ -4,8 +4,19 @@
 
 namespace pels {
 
-FlowTable::FlowTable(MkcConfig mkc, GammaConfig gamma)
-    : mkc_(mkc), gamma_cfg_(gamma) {
+const char* cc_kind_name(CcKind kind) {
+  switch (kind) {
+    case CcKind::kMkc: return "MKC";
+    case CcKind::kCubic: return "CUBIC";
+    case CcKind::kDcqcn: return "DCQCN";
+    case CcKind::kSwift: return "Swift";
+    case CcKind::kScream: return "SCReAM-lite";
+  }
+  return "?";
+}
+
+FlowTable::FlowTable(MkcConfig mkc, GammaConfig gamma, CcZooConfig zoo)
+    : mkc_(mkc), gamma_cfg_(gamma), zoo_cfg_(zoo) {
   // Same domain checks as the controllers' constructors; unstable gamma
   // gains stay allowed on purpose (Figure 5 demonstrates divergence).
   assert(mkc_.alpha_bps > 0.0);
@@ -32,10 +43,62 @@ void FlowTable::reserve(std::size_t flows) {
   staged_fgs_loss_.reserve(flows);
   staged_.reserve(flows);
   free_slots_.reserve(flows);
+  if (zoo_enabled_) {
+    kind_.reserve(flows);
+    srtt_.reserve(flows);
+    zoo_win_.reserve(flows);
+    zoo_a_.reserve(flows);
+    zoo_b_.reserve(flows);
+    zoo_t_.reserve(flows);
+    zoo_t2_.reserve(flows);
+    zoo_stage_.reserve(flows);
+    staged_rtt_.reserve(flows);
+    staged_iloss_.reserve(flows);
+    staged_mark_.reserve(flows);
+  }
+}
+
+void FlowTable::enable_zoo() {
+  if (zoo_enabled_) return;
+  zoo_enabled_ = true;
+  const std::size_t n = rate_.size();
+  // Back-fill for already-allocated slots: all pre-zoo flows are MKC.
+  kind_.assign(n, static_cast<std::uint8_t>(CcKind::kMkc));
+  srtt_.assign(n, 0);
+  zoo_win_.assign(n, 0.0);
+  zoo_a_.assign(n, 0.0);
+  zoo_b_.assign(n, 0.0);
+  zoo_t_.assign(n, 0);
+  zoo_t2_.assign(n, 0);
+  zoo_stage_.assign(n, 0);
+  staged_rtt_.assign(n, 0);
+  staged_iloss_.assign(n, 0.0);
+  staged_mark_.assign(n, 0.0);
+}
+
+double FlowTable::initial_rate_for(const MkcConfig& mkc, const CcZooConfig& zoo,
+                                   CcKind kind) {
+  switch (kind) {
+    case CcKind::kMkc: return mkc.initial_rate_bps;
+    case CcKind::kCubic:
+      return cubic_rate_from_cwnd(zoo.cubic, zoo.cubic.initial_cwnd_pkts, 0);
+    case CcKind::kDcqcn: return zoo.dcqcn.initial_rate_bps;
+    case CcKind::kSwift: return zoo.swift.initial_rate_bps;
+    case CcKind::kScream: return zoo.scream.initial_rate_bps;
+  }
+  return mkc.initial_rate_bps;
 }
 
 FlowSlot FlowTable::add_flow() {
   return add_flow(mkc_.initial_rate_bps, gamma_cfg_.initial_gamma);
+}
+
+FlowSlot FlowTable::add_flow(CcKind kind) {
+  if (kind != CcKind::kMkc) enable_zoo();
+  const FlowSlot slot =
+      add_flow(initial_rate_for(mkc_, zoo_cfg_, kind), gamma_cfg_.initial_gamma);
+  if (zoo_enabled_) init_zoo_slot(slot, kind);
+  return slot;
 }
 
 FlowSlot FlowTable::add_flow(double initial_rate_bps, double initial_gamma) {
@@ -56,6 +119,19 @@ FlowSlot FlowTable::add_flow(double initial_rate_bps, double initial_gamma) {
     staged_loss_.emplace_back();
     staged_fgs_loss_.emplace_back();
     staged_.emplace_back();
+    if (zoo_enabled_) {
+      kind_.emplace_back();
+      srtt_.emplace_back();
+      zoo_win_.emplace_back();
+      zoo_a_.emplace_back();
+      zoo_b_.emplace_back();
+      zoo_t_.emplace_back();
+      zoo_t2_.emplace_back();
+      zoo_stage_.emplace_back();
+      staged_rtt_.emplace_back();
+      staged_iloss_.emplace_back();
+      staged_mark_.emplace_back();
+    }
   }
   rate_[slot] = initial_rate_bps;
   gamma_col_[slot] = initial_gamma;
@@ -68,8 +144,23 @@ FlowSlot FlowTable::add_flow(double initial_rate_bps, double initial_gamma) {
   staged_loss_[slot] = 0.0;
   staged_fgs_loss_[slot] = 0.0;
   staged_[slot] = 0;
+  if (zoo_enabled_) init_zoo_slot(slot, CcKind::kMkc);
   ++live_count_;
   return slot;
+}
+
+void FlowTable::init_zoo_slot(FlowSlot slot, CcKind kind) {
+  kind_[slot] = static_cast<std::uint8_t>(kind);
+  srtt_[slot] = 0;
+  zoo_win_[slot] = kind == CcKind::kCubic ? zoo_cfg_.cubic.initial_cwnd_pkts : 0.0;
+  zoo_a_[slot] = kind == CcKind::kDcqcn ? zoo_cfg_.dcqcn.initial_rate_bps : 0.0;
+  zoo_b_[slot] = kind == CcKind::kDcqcn ? zoo_cfg_.dcqcn.initial_alpha : 0.0;
+  zoo_t_[slot] = 0;
+  zoo_t2_[slot] = 0;
+  zoo_stage_[slot] = 0;
+  staged_rtt_[slot] = 0;
+  staged_iloss_[slot] = 0.0;
+  staged_mark_[slot] = 0.0;
 }
 
 void FlowTable::remove_flow(FlowSlot slot) {
@@ -102,13 +193,102 @@ double FlowTable::apply_gamma(FlowSlot slot, double p) {
   return gamma_update_step(gamma_cfg_, p, gamma_col_[slot], gamma_updates_[slot]);
 }
 
-FlowTable::BatchStats FlowTable::batch_control_tick() {
+void FlowTable::apply_rtt(FlowSlot slot, SimTime rtt) {
+  assert(is_live(slot));
+  if (!zoo_enabled_ || rtt <= 0) return;
+  srtt_[slot] = rtt;
+  // SCReAM additionally tracks the propagation-delay baseline on each
+  // sample; Swift refreshes its minimum inside the tick kernel instead.
+  if (kind(slot) == CcKind::kScream) scream_rtt_step(rtt, zoo_t2_[slot]);
+}
+
+void FlowTable::apply_loss_interval(FlowSlot slot, double p, SimTime now) {
+  assert(is_live(slot));
+  if (!zoo_enabled_ || p <= 0.0) return;
+  switch (kind(slot)) {
+    case CcKind::kCubic:
+      cubic_event_step(zoo_cfg_.cubic, zoo_cfg_.cubic.beta, now, srtt_[slot],
+                       zoo_win_[slot], zoo_a_[slot], zoo_b_[slot], zoo_t_[slot],
+                       rate_[slot]);
+      break;
+    case CcKind::kDcqcn:
+      dcqcn_mark_step(zoo_cfg_.dcqcn, rate_[slot], zoo_a_[slot], zoo_b_[slot],
+                      zoo_stage_[slot]);
+      break;
+    case CcKind::kScream:
+      scream_loss_step(zoo_cfg_.scream, p, rate_[slot]);
+      break;
+    case CcKind::kMkc:
+    case CcKind::kSwift:
+      break;  // MKC steers by labels, Swift by delay
+  }
+}
+
+void FlowTable::apply_mark_fraction(FlowSlot slot, double f, SimTime now) {
+  assert(is_live(slot));
+  if (!zoo_enabled_) return;
+  switch (kind(slot)) {
+    case CcKind::kCubic:
+      if (f > 0.0) {
+        cubic_event_step(zoo_cfg_.cubic, zoo_cfg_.cubic.ecn_beta, now, srtt_[slot],
+                         zoo_win_[slot], zoo_a_[slot], zoo_b_[slot], zoo_t_[slot],
+                         rate_[slot]);
+      }
+      break;
+    case CcKind::kDcqcn:
+      if (f > 0.0) {
+        dcqcn_mark_step(zoo_cfg_.dcqcn, rate_[slot], zoo_a_[slot], zoo_b_[slot],
+                        zoo_stage_[slot]);
+      } else {
+        dcqcn_increase_step(zoo_cfg_.dcqcn, rate_[slot], zoo_a_[slot], zoo_b_[slot],
+                            zoo_stage_[slot]);
+      }
+      break;
+    case CcKind::kScream:
+      if (f > 0.0) scream_mark_step(zoo_cfg_.scream, f, rate_[slot]);
+      break;
+    case CcKind::kMkc:
+    case CcKind::kSwift:
+      break;
+  }
+}
+
+void FlowTable::apply_control_tick(FlowSlot slot, SimTime now) {
+  assert(is_live(slot));
+  if (!zoo_enabled_) return;
+  switch (kind(slot)) {
+    case CcKind::kCubic:
+      cubic_tick_step(zoo_cfg_.cubic, now, srtt_[slot], zoo_win_[slot], zoo_a_[slot],
+                      zoo_b_[slot], zoo_t_[slot], rate_[slot]);
+      break;
+    case CcKind::kSwift:
+      swift_tick_step(zoo_cfg_.swift, srtt_[slot], zoo_t_[slot], zoo_t2_[slot],
+                      rate_[slot]);
+      break;
+    case CcKind::kScream:
+      scream_tick_step(zoo_cfg_.scream, srtt_[slot], zoo_t2_[slot], rate_[slot]);
+      break;
+    case CcKind::kMkc:
+    case CcKind::kDcqcn:
+      break;  // event-driven: no periodic update
+  }
+}
+
+FlowTable::BatchStats FlowTable::batch_control_tick(SimTime now) {
   BatchStats out;
   const std::size_t n = rate_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t st = staged_[i];
     if (st == 0 || (flags_[i] & kLive) == 0) continue;
     const auto slot = static_cast<FlowSlot>(i);
+    // Same per-flow order as PelsSource::on_control_clock: RTT samples land
+    // before the tick's deliveries; feedback supersedes silence; gamma
+    // applies after the rate update; interval loss, then marks, then the
+    // clocked update.
+    if ((st & kStageRtt) != 0) {
+      apply_rtt(slot, staged_rtt_[i]);
+      ++out.rtt_applied;
+    }
     if ((st & kStageFeedback) != 0) {
       apply_feedback(slot, staged_loss_[i]);
       ++out.feedback_applied;
@@ -119,6 +299,18 @@ FlowTable::BatchStats FlowTable::batch_control_tick() {
     if ((st & kStageGamma) != 0) {
       apply_gamma(slot, staged_fgs_loss_[i]);
       ++out.gamma_updates;
+    }
+    if ((st & kStageLoss) != 0) {
+      apply_loss_interval(slot, staged_iloss_[i], now);
+      ++out.losses_applied;
+    }
+    if ((st & kStageMark) != 0) {
+      apply_mark_fraction(slot, staged_mark_[i], now);
+      ++out.marks_applied;
+    }
+    if ((st & kStageTick) != 0) {
+      apply_control_tick(slot, now);
+      ++out.ticks_applied;
     }
     staged_[i] = 0;
   }

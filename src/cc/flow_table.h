@@ -8,34 +8,70 @@
 // control tick batch-updates every staged flow with linear scans.
 //
 // Determinism contract: the single-flow operations (apply_feedback /
-// apply_silence / apply_gamma) and the batch path both call the exact inline
-// kernels MkcController and GammaController use (mkc_feedback_step,
-// mkc_silence_step, gamma_update_step), so table-backed control is
-// bit-for-bit identical to per-object control — verified by
-// tests/flow_table_test.cpp.
+// apply_silence / apply_gamma / apply_loss_interval / apply_mark_fraction /
+// apply_control_tick / apply_rtt) and the batch path both call the exact
+// inline kernels the per-object controllers use (mkc_feedback_step,
+// cubic_tick_step, dcqcn_mark_step, swift_tick_step, scream_tick_step, ...),
+// so table-backed control is bit-for-bit identical to per-object control —
+// verified by tests/flow_table_test.cpp and tests/cc_zoo_test.cpp.
+//
+// Controller zoo: each slot carries a CcKind; the apply/batch paths dispatch
+// per kind. The zoo columns (CUBIC window state, DCQCN rate machine, RTT
+// memories, staged mark/loss/rtt inputs) are allocated lazily on the first
+// non-MKC flow, so homogeneous MKC populations — the million-flow bench —
+// pay not a byte for them. Each zoo scalar column is shared across kinds
+// (one flow has exactly one kind): zoo_a is CUBIC's W_max or DCQCN's target
+// rate, zoo_b CUBIC's K or DCQCN's alpha, zoo_t CUBIC's epoch start or
+// Swift's previous-tick RTT, zoo_t2 Swift's/SCReAM's min RTT.
 //
 // Slot lifecycle: add_flow() reuses freed slots LIFO (like the scheduler's
 // callback pool); remove_flow() returns the slot. Columns never shrink, so a
 // steady-state add/remove churn allocates nothing. Whoever allocates the
-// slot owns its lifetime — PelsSource and MkcController only borrow.
+// slot owns its lifetime — PelsSource and the controllers only borrow.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "cc/cubic.h"
+#include "cc/dcqcn.h"
 #include "cc/mkc.h"
+#include "cc/scream_lite.h"
+#include "cc/swift.h"
 #include "video/gamma_controller.h"
 
 namespace pels {
 
 inline constexpr FlowSlot kInvalidFlowSlot = 0xffffffffu;
 
+/// Controller kind of a table slot. kMkc is the default and the only kind
+/// that exists before the zoo columns are enabled.
+enum class CcKind : std::uint8_t {
+  kMkc = 0,
+  kCubic = 1,
+  kDcqcn = 2,
+  kSwift = 3,
+  kScream = 4,
+};
+
+const char* cc_kind_name(CcKind kind);
+
+/// Shared per-kind configs for a table's zoo flows (heterogeneous configs
+/// within one kind use several tables or per-object controllers, like MKC).
+struct CcZooConfig {
+  CubicConfig cubic;
+  DcqcnConfig dcqcn;
+  SwiftConfig swift;
+  ScreamLiteConfig scream;
+};
+
 class FlowTable {
  public:
   /// All flows in one table share the MKC and gamma configs (heterogeneous
   /// populations use several tables or fall back to per-object controllers).
-  FlowTable(MkcConfig mkc, GammaConfig gamma);
+  FlowTable(MkcConfig mkc, GammaConfig gamma, CcZooConfig zoo = {});
 
   /// Pre-sizes every column (and the free list) for `flows` concurrent
   /// flows, so steady-state add/remove churn allocates nothing.
@@ -47,6 +83,9 @@ class FlowTable {
   /// Allocates a slot with explicit initial rate/gamma (mixed-traffic
   /// generators start classes at different operating points).
   FlowSlot add_flow(double initial_rate_bps, double initial_gamma);
+  /// Allocates a slot of the given controller kind, initialized from that
+  /// kind's config. The first non-MKC flow enables the zoo columns.
+  FlowSlot add_flow(CcKind kind);
   /// Frees a slot for reuse. Outstanding references to it are invalid.
   void remove_flow(FlowSlot slot);
 
@@ -58,7 +97,15 @@ class FlowTable {
     return slot < flags_.size() && (flags_[slot] & kLive) != 0;
   }
 
+  /// Allocates the zoo columns up front (at current capacity, grown with the
+  /// table afterwards). Implicit on the first add_flow with a non-MKC kind.
+  void enable_zoo();
+  bool zoo_enabled() const { return zoo_enabled_; }
+
   // --- per-flow hot scalars ---------------------------------------------
+  CcKind kind(FlowSlot slot) const {
+    return zoo_enabled_ ? static_cast<CcKind>(kind_[slot]) : CcKind::kMkc;
+  }
   double rate_bps(FlowSlot slot) const { return rate_[slot]; }
   double gamma(FlowSlot slot) const { return gamma_col_[slot]; }
   double paced_rate(FlowSlot slot) const { return paced_rate_[slot]; }
@@ -71,17 +118,36 @@ class FlowTable {
   std::uint64_t silence_ticks(FlowSlot slot) const { return silence_ticks_[slot]; }
   std::uint64_t gamma_updates(FlowSlot slot) const { return gamma_updates_[slot]; }
 
+  // Zoo state views (valid once the zoo columns exist; see the column-sharing
+  // map in the header comment).
+  SimTime srtt(FlowSlot slot) const { return srtt_[slot]; }
+  SimTime min_rtt(FlowSlot slot) const { return zoo_t2_[slot]; }
+  double cubic_cwnd(FlowSlot slot) const { return zoo_win_[slot]; }
+  double cubic_wmax(FlowSlot slot) const { return zoo_a_[slot]; }
+  double dcqcn_target(FlowSlot slot) const { return zoo_a_[slot]; }
+  double dcqcn_alpha(FlowSlot slot) const { return zoo_b_[slot]; }
+  std::int32_t dcqcn_stage(FlowSlot slot) const { return zoo_stage_[slot]; }
+  SimTime swift_prev_rtt(FlowSlot slot) const { return zoo_t_[slot]; }
+
   // --- single-flow control (table-backed controllers) --------------------
   void apply_feedback(FlowSlot slot, double p);
   void apply_silence(FlowSlot slot);
   double apply_gamma(FlowSlot slot, double p);
+  /// Zoo signal entry points; dispatch on the slot's kind (MKC ignores them,
+  /// matching the per-object controllers' default overrides). `now` anchors
+  /// event timestamps (CUBIC's epoch start).
+  void apply_rtt(FlowSlot slot, SimTime rtt);
+  void apply_loss_interval(FlowSlot slot, double p, SimTime now);
+  void apply_mark_fraction(FlowSlot slot, double f, SimTime now);
+  void apply_control_tick(FlowSlot slot, SimTime now);
 
   // --- staged batch control (population-scale drivers) -------------------
   // A control tick stages per-flow inputs (latest wins within a tick), then
   // batch_control_tick() applies them in slot order with linear scans.
-  // Semantics per flow and tick: staged feedback supersedes staged silence
-  // (a fresh label ends the silence episode, matching the source watchdog);
-  // gamma applies after the rate update, like PelsSource::on_control_clock.
+  // Semantics per flow and tick, mirroring PelsSource::on_control_clock:
+  // rtt first, then feedback (which supersedes staged silence — a fresh
+  // label ends the silence episode), then gamma, then the interval loss and
+  // mark deliveries, then the control tick.
   void stage_feedback(FlowSlot slot, double p) {
     staged_loss_[slot] = p;
     staged_[slot] = static_cast<std::uint8_t>((staged_[slot] & ~kStageSilence) | kStageFeedback);
@@ -93,20 +159,47 @@ class FlowTable {
     staged_fgs_loss_[slot] = p_fgs;
     staged_[slot] |= kStageGamma;
   }
+  void stage_rtt(FlowSlot slot, SimTime rtt) {
+    assert(zoo_enabled_ && "zoo staging needs enable_zoo()/a non-MKC flow");
+    staged_rtt_[slot] = rtt;
+    staged_[slot] |= kStageRtt;
+  }
+  void stage_loss_interval(FlowSlot slot, double p) {
+    assert(zoo_enabled_ && "zoo staging needs enable_zoo()/a non-MKC flow");
+    staged_iloss_[slot] = p;
+    staged_[slot] |= kStageLoss;
+  }
+  void stage_mark_fraction(FlowSlot slot, double f) {
+    assert(zoo_enabled_ && "zoo staging needs enable_zoo()/a non-MKC flow");
+    staged_mark_[slot] = f;
+    staged_[slot] |= kStageMark;
+  }
+  void stage_control_tick(FlowSlot slot) {
+    assert(zoo_enabled_ && "zoo staging needs enable_zoo()/a non-MKC flow");
+    staged_[slot] |= kStageTick;
+  }
 
   struct BatchStats {
     std::size_t feedback_applied = 0;
     std::size_t silences = 0;
     std::size_t gamma_updates = 0;
+    std::size_t rtt_applied = 0;
+    std::size_t losses_applied = 0;
+    std::size_t marks_applied = 0;
+    std::size_t ticks_applied = 0;
   };
-  /// Applies every staged input and clears the staging columns.
-  BatchStats batch_control_tick();
+  /// Applies every staged input and clears the staging columns. `now` feeds
+  /// the clocked zoo kernels (CUBIC's elapsed-epoch time); pure-MKC tables
+  /// never read it, so existing drivers can keep calling it argument-free.
+  BatchStats batch_control_tick(SimTime now = 0);
 
   const MkcConfig& mkc_config() const { return mkc_; }
   const GammaConfig& gamma_config() const { return gamma_cfg_; }
+  const CcZooConfig& zoo_config() const { return zoo_cfg_; }
 
   /// Heap footprint of every column plus the free list (capacities, not
   /// sizes): the bytes/flow budget reported by bench/many_flows counts this.
+  /// Zoo columns count only once enabled.
   std::size_t memory_bytes() const {
     return rate_.capacity() * sizeof(double) + gamma_col_.capacity() * sizeof(double) +
            paced_rate_.capacity() * sizeof(double) +
@@ -118,6 +211,14 @@ class FlowTable {
            staged_loss_.capacity() * sizeof(double) +
            staged_fgs_loss_.capacity() * sizeof(double) +
            staged_.capacity() * sizeof(std::uint8_t) +
+           kind_.capacity() * sizeof(std::uint8_t) +
+           srtt_.capacity() * sizeof(SimTime) + zoo_win_.capacity() * sizeof(double) +
+           zoo_a_.capacity() * sizeof(double) + zoo_b_.capacity() * sizeof(double) +
+           zoo_t_.capacity() * sizeof(SimTime) + zoo_t2_.capacity() * sizeof(SimTime) +
+           zoo_stage_.capacity() * sizeof(std::int32_t) +
+           staged_rtt_.capacity() * sizeof(SimTime) +
+           staged_iloss_.capacity() * sizeof(double) +
+           staged_mark_.capacity() * sizeof(double) +
            free_slots_.capacity() * sizeof(FlowSlot);
   }
 
@@ -127,12 +228,21 @@ class FlowTable {
   static constexpr std::uint8_t kStageFeedback = 1u << 0;
   static constexpr std::uint8_t kStageSilence = 1u << 1;
   static constexpr std::uint8_t kStageGamma = 1u << 2;
+  static constexpr std::uint8_t kStageRtt = 1u << 3;
+  static constexpr std::uint8_t kStageLoss = 1u << 4;
+  static constexpr std::uint8_t kStageMark = 1u << 5;
+  static constexpr std::uint8_t kStageTick = 1u << 6;
+
+  void init_zoo_slot(FlowSlot slot, CcKind kind);
+  static double initial_rate_for(const MkcConfig& mkc, const CcZooConfig& zoo,
+                                 CcKind kind);
 
   MkcConfig mkc_;
   GammaConfig gamma_cfg_;
+  CcZooConfig zoo_cfg_;
 
   // Parallel columns indexed by FlowSlot. Hot control scalars first.
-  std::vector<double> rate_;            // MKC rate (bps)
+  std::vector<double> rate_;            // controller rate (bps), any kind
   std::vector<double> gamma_col_;       // FGS red fraction
   std::vector<double> paced_rate_;      // pacing EWMA (PelsSource)
   std::vector<std::int32_t> recovery_left_;
@@ -144,6 +254,19 @@ class FlowTable {
   std::vector<double> staged_loss_;
   std::vector<double> staged_fgs_loss_;
   std::vector<std::uint8_t> staged_;
+  // Zoo columns (empty until enable_zoo(); see header comment for sharing).
+  bool zoo_enabled_ = false;
+  std::vector<std::uint8_t> kind_;
+  std::vector<SimTime> srtt_;
+  std::vector<double> zoo_win_;        // CUBIC cwnd (packets)
+  std::vector<double> zoo_a_;          // CUBIC W_max | DCQCN target rate
+  std::vector<double> zoo_b_;          // CUBIC K | DCQCN alpha
+  std::vector<SimTime> zoo_t_;         // CUBIC epoch start | Swift prev RTT
+  std::vector<SimTime> zoo_t2_;        // Swift/SCReAM min RTT
+  std::vector<std::int32_t> zoo_stage_;  // DCQCN recovery stage
+  std::vector<SimTime> staged_rtt_;
+  std::vector<double> staged_iloss_;
+  std::vector<double> staged_mark_;
 
   std::vector<FlowSlot> free_slots_;
   std::size_t live_count_ = 0;

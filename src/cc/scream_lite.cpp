@@ -1,0 +1,91 @@
+#include "cc/scream_lite.h"
+
+#include <cassert>
+
+#include "cc/flow_table.h"
+
+namespace pels {
+
+ScreamLiteController::ScreamLiteController(ScreamLiteConfig config)
+    : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.qdelay_target > 0);
+  assert(cfg_.increase_bps > 0.0);
+  assert(cfg_.decrease_gain > 0.0 && cfg_.decrease_gain <= 1.0);
+  assert(cfg_.loss_beta > 0.0 && cfg_.loss_beta < 1.0);
+  assert(cfg_.mark_beta > 0.0 && cfg_.mark_beta < 1.0);
+  assert(cfg_.max_tick_growth > 1.0);
+  assert(cfg_.min_rate_bps > 0.0 && cfg_.min_rate_bps <= cfg_.initial_rate_bps &&
+         cfg_.initial_rate_bps <= cfg_.max_rate_bps);
+}
+
+ScreamLiteController::ScreamLiteController(FlowTable& table, FlowSlot slot)
+    : cfg_(table.zoo_config().scream), table_(&table), slot_(slot),
+      rate_(cfg_.initial_rate_bps) {
+  assert(table.is_live(slot) && "table-backed controller needs an allocated slot");
+  assert(table.kind(slot) == CcKind::kScream && "slot must be allocated as kScream");
+}
+
+double ScreamLiteController::rate_bps() const {
+  return table_ != nullptr ? table_->rate_bps(slot_) : rate_;
+}
+
+SimTime ScreamLiteController::srtt() const {
+  return table_ != nullptr ? table_->srtt(slot_) : srtt_;
+}
+
+SimTime ScreamLiteController::min_rtt() const {
+  return table_ != nullptr ? table_->min_rtt(slot_) : min_rtt_;
+}
+
+double ScreamLiteController::cwnd_bytes() const {
+  const SimTime rtt = srtt();
+  return rtt > 0 ? rate_bps() / 8.0 * to_seconds(rtt) : 0.0;
+}
+
+void ScreamLiteController::on_loss_interval(double p, SimTime now) {
+  if (p <= 0.0) return;
+  if (table_ != nullptr) {
+    table_->apply_loss_interval(slot_, p, now);
+    return;
+  }
+  scream_loss_step(cfg_, p, rate_);
+}
+
+void ScreamLiteController::on_mark_fraction(double f, SimTime now) {
+  if (f <= 0.0) return;
+  if (table_ != nullptr) {
+    table_->apply_mark_fraction(slot_, f, now);
+    return;
+  }
+  scream_mark_step(cfg_, f, rate_);
+}
+
+void ScreamLiteController::on_control_tick(SimTime now) {
+  if (table_ != nullptr) {
+    table_->apply_control_tick(slot_, now);
+    return;
+  }
+  scream_tick_step(cfg_, srtt_, min_rtt_, rate_);
+}
+
+void ScreamLiteController::set_rtt(SimTime rtt) {
+  if (rtt <= 0) return;
+  if (table_ != nullptr) {
+    table_->apply_rtt(slot_, rtt);
+    return;
+  }
+  srtt_ = rtt;
+  scream_rtt_step(rtt, min_rtt_);
+}
+
+void ScreamLiteController::register_metrics(MetricsRegistry& registry,
+                                            const std::string& prefix) {
+  CongestionController::register_metrics(registry, prefix);
+  registry.add_probe(prefix + ".scream_qdelay_ms", [this] {
+    const SimTime base = min_rtt();
+    return base > 0 ? to_millis(srtt() - base) : 0.0;
+  });
+  registry.add_probe(prefix + ".scream_cwnd_bytes", [this] { return cwnd_bytes(); });
+}
+
+}  // namespace pels

@@ -1,0 +1,64 @@
+#include "cc/swift.h"
+
+#include <cassert>
+
+#include "cc/flow_table.h"
+
+namespace pels {
+
+SwiftController::SwiftController(SwiftConfig config)
+    : cfg_(config), rate_(config.initial_rate_bps) {
+  assert(cfg_.q_low >= 0 && cfg_.q_low < cfg_.q_high);
+  assert(cfg_.gradient_scale > 0);
+  assert(cfg_.ai_bps > 0.0);
+  assert(cfg_.md_gain > 0.0 && cfg_.md_gain <= 1.0);
+  assert(cfg_.min_rate_bps > 0.0 && cfg_.min_rate_bps <= cfg_.initial_rate_bps &&
+         cfg_.initial_rate_bps <= cfg_.max_rate_bps);
+}
+
+SwiftController::SwiftController(FlowTable& table, FlowSlot slot)
+    : cfg_(table.zoo_config().swift), table_(&table), slot_(slot),
+      rate_(cfg_.initial_rate_bps) {
+  assert(table.is_live(slot) && "table-backed controller needs an allocated slot");
+  assert(table.kind(slot) == CcKind::kSwift && "slot must be allocated as kSwift");
+}
+
+double SwiftController::rate_bps() const {
+  return table_ != nullptr ? table_->rate_bps(slot_) : rate_;
+}
+
+SimTime SwiftController::srtt() const {
+  return table_ != nullptr ? table_->srtt(slot_) : srtt_;
+}
+
+SimTime SwiftController::min_rtt() const {
+  return table_ != nullptr ? table_->min_rtt(slot_) : min_rtt_;
+}
+
+void SwiftController::on_control_tick(SimTime now) {
+  if (table_ != nullptr) {
+    table_->apply_control_tick(slot_, now);
+    return;
+  }
+  swift_tick_step(cfg_, srtt_, prev_rtt_, min_rtt_, rate_);
+}
+
+void SwiftController::set_rtt(SimTime rtt) {
+  if (rtt <= 0) return;
+  if (table_ != nullptr) {
+    table_->apply_rtt(slot_, rtt);
+    return;
+  }
+  srtt_ = rtt;
+}
+
+void SwiftController::register_metrics(MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  CongestionController::register_metrics(registry, prefix);
+  registry.add_probe(prefix + ".swift_qdelay_ms", [this] {
+    const SimTime base = min_rtt();
+    return base > 0 ? to_millis(srtt() - base) : 0.0;
+  });
+}
+
+}  // namespace pels

@@ -75,10 +75,25 @@ void TcpLikeSource::on_rto() {
 
 void TcpLikeSource::on_packet(const Packet& pkt) {
   if (!pkt.ack) return;
-  on_ack(pkt.ack->acked_seq);
+  on_ack(pkt.ack->acked_seq, pkt.ack->recv_marked);
 }
 
-void TcpLikeSource::on_ack(std::uint64_t ack_seq) {
+void TcpLikeSource::on_ack(std::uint64_t ack_seq, std::uint64_t recv_marked) {
+  // ECN-echo (RFC 3168 §6.1.2): the sink's cumulative marked counter
+  // advancing means congestion-experienced marks arrived since the last ACK.
+  // React like a fast retransmit — halve once — but at most once per window
+  // of data, and never while loss recovery already halved.
+  bool ece_backoff = false;
+  if (recv_marked > marked_seen_) {
+    marked_seen_ = recv_marked;
+    if (!in_recovery_ && ack_seq >= ecn_recovery_point_) {
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      ecn_recovery_point_ = next_seq_;
+      ++ecn_backoffs_;
+      ece_backoff = true;
+    }
+  }
   if (ack_seq > highest_acked_) {
     highest_acked_ = ack_seq;
     dup_acks_ = 0;
@@ -93,7 +108,7 @@ void TcpLikeSource::on_ack(std::uint64_t ack_seq) {
         ++retransmits_;
       }
     }
-    if (!in_recovery_) {
+    if (!in_recovery_ && !ece_backoff) {
       if (cwnd_ < ssthresh_) {
         cwnd_ += 1.0;  // slow start: one packet per ACK
       } else {
@@ -131,6 +146,7 @@ TcpSink::TcpSink(Host& host, FlowId flow, NodeId src_node, TcpConfig config)
 void TcpSink::on_packet(const Packet& pkt) {
   if (pkt.ack) return;  // we only expect data here
   ++received_;
+  if (pkt.ecn_marked) ++recv_marked_;
   if (pkt.seq == cum_ack_) {
     ++cum_ack_;
     // Absorb any buffered out-of-order segments that are now in order.
@@ -149,6 +165,7 @@ void TcpSink::on_packet(const Packet& pkt) {
   ack.created_at = pkt.created_at;  // preserved so the source could infer RTT
   ack.ack = AckInfo{};
   ack.ack->acked_seq = cum_ack_;
+  ack.ack->recv_marked = recv_marked_;
   host_.send(std::move(ack));
 }
 

@@ -42,6 +42,9 @@ class TcpLikeSource : public Agent {
   std::uint64_t packets_sent() const { return sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t highest_acked() const { return highest_acked_; }
+  /// ECN window reductions taken (RFC 3168 ECE reaction, at most one per
+  /// window of data) — marks echoed by the sink cut cwnd without a drop.
+  std::uint64_t ecn_backoffs() const { return ecn_backoffs_; }
 
   /// Goodput in bits/s between start and `now` (cumulatively acked data).
   double goodput_bps(SimTime now) const;
@@ -51,7 +54,7 @@ class TcpLikeSource : public Agent {
   void transmit(std::uint64_t seq);
   void arm_rto();
   void on_rto();
-  void on_ack(std::uint64_t ack_seq);
+  void on_ack(std::uint64_t ack_seq, std::uint64_t recv_marked);
 
   Simulation& sim_;
   Host& host_;
@@ -71,6 +74,9 @@ class TcpLikeSource : public Agent {
   EventId rto_event_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t marked_seen_ = 0;        // highest echoed recv_marked counter
+  std::uint64_t ecn_recovery_point_ = 0; // next ECE reaction allowed past here
+  std::uint64_t ecn_backoffs_ = 0;
 };
 
 /// Cumulative-ACK receiver.
@@ -82,6 +88,8 @@ class TcpSink : public Agent {
 
   std::uint64_t packets_received() const { return received_; }
   std::uint64_t cumulative_ack() const { return cum_ack_; }
+  /// Cumulative ECN-marked data packets seen; echoed on every ACK.
+  std::uint64_t marked_received() const { return recv_marked_; }
 
  private:
   Host& host_;
@@ -91,6 +99,7 @@ class TcpSink : public Agent {
   std::uint64_t cum_ack_ = 0;  // next expected in-order sequence
   std::unordered_set<std::uint64_t> out_of_order_;
   std::uint64_t received_ = 0;
+  std::uint64_t recv_marked_ = 0;
 };
 
 }  // namespace pels

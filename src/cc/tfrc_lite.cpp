@@ -28,6 +28,13 @@ void TfrcLiteController::on_loss_interval(double p, SimTime /*now*/) {
   if (seen_loss_) recompute();
 }
 
+void TfrcLiteController::on_mark_fraction(double f, SimTime now) {
+  // Marks enter the loss-event EWMA only when present: mark-free intervals
+  // must not dilute the estimate a second time (on_loss_interval already
+  // decays it every control tick).
+  if (f > 0.0) on_loss_interval(f, now);
+}
+
 void TfrcLiteController::set_rtt(SimTime rtt) {
   if (rtt > 0) rtt_ = rtt;
   if (seen_loss_) recompute();

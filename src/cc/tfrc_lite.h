@@ -32,6 +32,10 @@ class TfrcLiteController : public CongestionController {
   /// capacity); the rate itself follows the response function.
   void on_router_feedback(double p, SimTime now) override;
   void on_loss_interval(double p, SimTime now) override;
+  /// ECN marks are congestion events for the response function (RFC 8087
+  /// §4.1): a marked interval folds into the same smoothed loss-event rate
+  /// as a lossy one, so marked-not-dropped packets still reduce the rate.
+  void on_mark_fraction(double f, SimTime now) override;
   void set_rtt(SimTime rtt) override;
   const char* name() const override { return "TFRC-lite"; }
 

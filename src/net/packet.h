@@ -134,8 +134,9 @@ struct Packet {
   std::uint64_t seq = 0;       // per-flow sequence number
   std::int32_t size_bytes = 0;
   Color color = Color::kInternet;
-  /// ECN congestion-experienced mark, set by marking AQMs (REM). Echoed by
-  /// sinks in AckInfo::recv_marked so sources can estimate the path price.
+  /// ECN congestion-experienced mark, set by marking AQMs (REM's coin-flip
+  /// marking, PelsQueue's occupancy threshold). Echoed by sinks in
+  /// AckInfo::recv_marked so sources can estimate the path price.
   bool ecn_marked = false;
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;

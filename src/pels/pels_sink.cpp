@@ -59,6 +59,7 @@ void PelsSink::on_packet(const Packet& pkt) {
 
   const auto c = static_cast<std::size_t>(pkt.color);
   ++recv_[c];
+  data_bytes_ += static_cast<std::uint64_t>(pkt.size_bytes);
   if (pkt.ecn_marked) ++recv_marked_;
   const double delay_s = to_seconds(sim_.now() - pkt.created_at);
   delays_[c].add(delay_s);

@@ -41,6 +41,11 @@ class PelsSink : public Agent {
   // --- observable state -------------------------------------------------
   std::uint64_t packets_received(Color c) const { return recv_[static_cast<std::size_t>(c)]; }
   std::uint64_t fgs_bytes_received() const { return recv_fgs_bytes_; }
+  /// Total non-duplicate data payload bytes delivered (all colours): the
+  /// exact per-flow goodput numerator for fairness accounting.
+  std::uint64_t data_bytes_received() const { return data_bytes_; }
+  /// Data packets that arrived carrying an ECN congestion-experienced mark.
+  std::uint64_t marked_received() const { return recv_marked_; }
 
   /// One-way delay samples per colour, seconds.
   const SampleSet& delay_samples(Color c) const { return delays_[static_cast<std::size_t>(c)]; }
@@ -89,6 +94,7 @@ class PelsSink : public Agent {
 
   std::uint64_t recv_[kNumColors] = {};
   std::uint64_t recv_fgs_bytes_ = 0;
+  std::uint64_t data_bytes_ = 0;
   std::uint64_t recv_marked_ = 0;
   SampleSet delays_[kNumColors];
   TimeSeries delay_series_[kNumColors];

@@ -267,6 +267,11 @@ void PelsSource::on_control_clock() {
     mark_anchor_ = recv_marked_;
   }
 
+  // Clocked controllers (CUBIC, Swift, SCReAM-lite) run their periodic update
+  // after the interval's event deliveries, so the tick sees this interval's
+  // loss/mark reaction already applied.
+  controller_->on_control_tick(sim_.now());
+
   rate_series_.add(sim_.now(), controller_->rate_bps());
   gamma_series_.add(sim_.now(), gamma());
   loss_series_.add(sim_.now(), last_measured_loss_);

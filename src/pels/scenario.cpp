@@ -25,6 +25,8 @@ void ScenarioConfig::validate() const {
   require(bottleneck_bps > 0.0, "bottleneck_bps must be > 0");
   require(edge_bps > 0.0, "edge_bps must be > 0");
   require(edge_delay >= 0 && bottleneck_delay >= 0, "delays must be >= 0");
+  for (const SimTime d : edge_delays)
+    require(d >= 0, "edge_delays entries must be >= 0");
   require(edge_queue_limit > 0, "edge_queue_limit must be > 0");
   require(ack_loss >= 0.0 && ack_loss < 1.0, "ack_loss must be in [0, 1)");
   require(wireless_loss >= 0.0 && wireless_loss < 1.0,
@@ -156,11 +158,20 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
     flow_table_->reserve(static_cast<std::size_t>(cfg_.pels_flows));
   }
 
+  // Per-flow base-RTT diversity: flow k (PELS flows first, then TCP) takes
+  // edge_delays[k % size] on both of its private edges.
+  const auto edge_delay_for = [this](int flow_index) {
+    if (cfg_.edge_delays.empty()) return cfg_.edge_delay;
+    return cfg_.edge_delays[static_cast<std::size_t>(flow_index) %
+                            cfg_.edge_delays.size()];
+  };
+
   for (int i = 0; i < cfg_.pels_flows; ++i) {
     Host& src_host = topo_.add_host("src" + std::to_string(i));
     Host& dst_host = topo_.add_host("dst" + std::to_string(i));
-    topo_.connect(src_host, r1, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
-    topo_.connect(r2, dst_host, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+    const SimTime edge_delay = edge_delay_for(i);
+    topo_.connect(src_host, r1, cfg_.edge_bps, edge_delay, edge_queue);
+    topo_.connect(r2, dst_host, cfg_.edge_bps, edge_delay, edge_queue);
 
     std::unique_ptr<CongestionController> controller;
     if (cfg_.make_controller) {
@@ -187,8 +198,9 @@ DumbbellScenario::DumbbellScenario(ScenarioConfig config)
   for (int i = 0; i < cfg_.tcp_flows; ++i) {
     Host& src_host = topo_.add_host("tcp" + std::to_string(i));
     Host& dst_host = topo_.add_host("tsink" + std::to_string(i));
-    topo_.connect(src_host, r1, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
-    topo_.connect(r2, dst_host, cfg_.edge_bps, cfg_.edge_delay, edge_queue);
+    const SimTime edge_delay = edge_delay_for(cfg_.pels_flows + i);
+    topo_.connect(src_host, r1, cfg_.edge_bps, edge_delay, edge_queue);
+    topo_.connect(r2, dst_host, cfg_.edge_bps, edge_delay, edge_queue);
     const auto flow = static_cast<FlowId>(1000 + i);
     tcp_sinks_.push_back(std::make_unique<TcpSink>(dst_host, flow, src_host.id()));
     tcp_sources_.push_back(std::make_unique<TcpLikeSource>(sim_, src_host, flow, dst_host.id()));

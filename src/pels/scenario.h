@@ -48,6 +48,11 @@ struct ScenarioConfig {
   double bottleneck_bps = 4e6;  // §6.1
   double edge_bps = 10e6;
   SimTime edge_delay = from_millis(2);
+  /// Per-flow edge propagation delay (RTT diversity, fairness-matrix cells):
+  /// flow k — PELS flows first, then TCP flows — uses entry k % size() on
+  /// both of its edges, so base RTTs differ while the shared bottleneck path
+  /// stays common. Empty (default) = uniform edge_delay everywhere.
+  std::vector<SimTime> edge_delays;
   SimTime bottleneck_delay = from_millis(10);
   std::size_t edge_queue_limit = 1000;  // packets; edges should not drop
 

@@ -81,7 +81,36 @@ bool PelsQueue::enqueue(Packet pkt) {
     const bool is_fgs = pkt.color == Color::kYellow || pkt.color == Color::kRed;
     meter_.add_bytes(pkt.size_bytes, is_fgs);
   }
+  if (cfg_.ecn_mark_threshold_pkts > 0 && pkt.color != Color::kAck)
+    maybe_mark_ecn(pkt);
   return wrr_->enqueue(std::move(pkt));
+}
+
+void PelsQueue::maybe_mark_ecn(Packet& pkt) {
+  // Step marking on the instantaneous occupancy of the band this packet is
+  // headed for, checked before admission (a packet about to be tail-dropped
+  // never carries a mark anywhere).
+  std::size_t occupancy = 0;
+  switch (pkt.color) {
+    case Color::kGreen:
+      occupancy = priority_->band_packet_count(0);
+      break;
+    case Color::kYellow:
+      occupancy = priority_->band_packet_count(1);
+      break;
+    case Color::kRed:
+      occupancy = priority_->band_packet_count(cfg_.merge_fgs_bands ? 1 : 2);
+      break;
+    case Color::kInternet:
+      occupancy = internet_->packet_count();
+      break;
+    default:
+      return;
+  }
+  if (occupancy >= cfg_.ecn_mark_threshold_pkts) {
+    pkt.ecn_marked = true;
+    ++ecn_marks_;
+  }
 }
 
 std::optional<Packet> PelsQueue::dequeue() {
@@ -155,6 +184,8 @@ void PelsQueue::register_metrics(MetricsRegistry& registry, const std::string& p
                                c.arrivals[static_cast<std::size_t>(Color::kYellow)] +
                                c.arrivals[static_cast<std::size_t>(Color::kRed)]);
   });
+  registry.add_probe(prefix + ".ecn_marks",
+                     [this] { return static_cast<double>(ecn_marks_); });
   registry.add_probe(prefix + ".wrr_pels_credit",
                      [this] { return static_cast<double>(wrr_->deficit(0)); });
   registry.add_probe(prefix + ".wrr_internet_credit",

@@ -78,6 +78,14 @@ struct PelsQueueConfig {
   // diverges to -inf as R -> 0).
   double loss_floor = -20.0;
   double loss_ceiling = 0.999;
+  /// DCTCP-style step marking: an arriving data packet is ECN-marked (CE)
+  /// when its target band already holds at least this many packets. 0
+  /// disables marking (the default — the paper's AQM signals congestion via
+  /// the in-band feedback label, not ECN). Marks ride the existing band
+  /// structure: a green packet is marked on green occupancy, FGS packets on
+  /// their own band, Internet packets on the Internet FIFO — so the mark a
+  /// flow sees measures the queue *it* is building, not aggregate backlog.
+  std::size_t ecn_mark_threshold_pkts = 0;
   /// EWMA gain on the measured arrival rate R across feedback intervals
   /// (1.0 = no smoothing). At T = 30 ms an interval holds only tens of
   /// packets and quantization noise on R jitters source rates by a few
@@ -130,6 +138,9 @@ class PelsQueue : public QueueDisc {
   const ColorCounters& pels_group_counters() const { return priority_->counters(); }
   const ColorCounters& internet_counters() const { return internet_->counters(); }
 
+  /// Cumulative packets ECN-marked on arrival (see ecn_mark_threshold_pkts).
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
+
   const PelsQueueConfig& config() const { return cfg_; }
 
   /// Registers this queue's instruments under `prefix.` (see DESIGN.md
@@ -142,6 +153,7 @@ class PelsQueue : public QueueDisc {
  private:
   void on_feedback_interval();
   void update_feedback_telemetry();
+  void maybe_mark_ecn(Packet& pkt);
 
   PelsQueueConfig cfg_;
   double pels_capacity_bps_;
@@ -151,6 +163,8 @@ class PelsQueue : public QueueDisc {
   std::unique_ptr<WrrQueue> wrr_;
   FeedbackMeter meter_;
   PeriodicTimer feedback_timer_;
+
+  std::uint64_t ecn_marks_ = 0;
 
   // Drop-count-based FGS loss measurement (see fgs_loss_window_intervals):
   // arrival/drop counter anchors at the start of the current window.

@@ -1,0 +1,105 @@
+// Scenario-level tests for the fairness-matrix experiment (exp/fairness) and
+// the ECN signal path it depends on: PELS AQM threshold marking, the TCP
+// ECE reaction, and base-layer protection under aggressive cross traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "exp/fairness.h"
+#include "pels/scenario.h"
+
+namespace pels {
+namespace {
+
+// The paper's core promise, restated for the mixed-ecosystem PR: whatever
+// congestion controller the competing class runs, the PELS AQM keeps every
+// flow's base layer intact. CUBIC is the aggressive newcomer in the matrix
+// (it takes ~90% of the video share), so it is the stress case.
+TEST(FairnessCellTest, BaseLayerProtectedUnderCubicCrossTraffic) {
+  FairnessCellConfig cfg;
+  cfg.label = "test_mkc_vs_cubic";
+  cfg.class_a = CcKind::kMkc;
+  cfg.class_b = CcKind::kCubic;
+  cfg.duration = 16 * kSecond;
+  cfg.warmup = 6 * kSecond;
+  const FairnessCellResult r = run_fairness_cell(cfg);
+
+  EXPECT_GE(r.base_protection, 0.9)
+      << "CUBIC cross traffic must not starve the base layer";
+  EXPECT_GE(r.jain_video, 0.0);
+  EXPECT_LE(r.jain_video, 1.0);
+  EXPECT_NEAR(r.share_a + r.share_b + r.share_tcp, 1.0, 1e-9);
+  EXPECT_EQ(r.share_tcp, 0.0);
+  ASSERT_EQ(r.video_goodputs_bps.size(), 4u);
+  for (const double g : r.video_goodputs_bps) EXPECT_GT(g, 0.0);
+  // Both delay percentiles populated and ordered.
+  EXPECT_GT(r.delay_p50_ms, 0.0);
+  EXPECT_LE(r.delay_p50_ms, r.delay_p95_ms);
+  EXPECT_LE(r.delay_p95_ms, r.delay_p99_ms);
+  // The default cell marks at the AQM; mark-driven members depend on it.
+  EXPECT_GT(r.ecn_marks, 0u);
+}
+
+TEST(FairnessCellTest, RejectsNonsenseConfigs) {
+  FairnessCellConfig cfg;
+  cfg.flows_a = 0;
+  EXPECT_THROW(run_fairness_cell(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.warmup = cfg.duration;
+  EXPECT_THROW(run_fairness_cell(cfg), std::invalid_argument);
+}
+
+TEST(FairnessCellTest, MatrixEnumerationsAreLabelledAndValid) {
+  const auto full = default_fairness_matrix(false);
+  const auto smoke = default_fairness_matrix(true);
+  EXPECT_EQ(full.size(), 12u);
+  EXPECT_EQ(smoke.size(), 3u);
+  for (const auto& cell : full) {
+    EXPECT_FALSE(cell.label.empty());
+    EXPECT_LT(cell.warmup, cell.duration);
+  }
+  for (const auto& cell : smoke) EXPECT_LT(cell.duration, 20 * kSecond);
+}
+
+// Satellite regression: marked-not-dropped packets must reduce the sender's
+// rate. With the Internet FIFO deep enough that nothing drops, a greedy TCP
+// flow only backs off if the ECE echo path works end to end: AQM threshold
+// mark -> sink echo -> sender window cut (once per window of data).
+TEST(TcpEcnScenarioTest, MarkedNotDroppedPacketsReduceCwnd) {
+  const auto run = [](std::size_t mark_threshold) {
+    ScenarioConfig cfg;
+    cfg.pels_flows = 1;
+    cfg.tcp_flows = 1;
+    cfg.pels_queue.ecn_mark_threshold_pkts = mark_threshold;
+    // Deep FIFO: the run must stay drop-free so the only congestion signal
+    // available to TCP is the CE mark.
+    cfg.pels_queue.internet_limit = 20000;
+    cfg.edge_queue_limit = 20000;
+    DumbbellScenario scn(cfg);
+    scn.source(0).start(0);
+    scn.tcp_source(0).start(0);
+    scn.run_until(20 * kSecond);
+    return std::tuple{scn.tcp_source(0).cwnd(), scn.tcp_source(0).ecn_backoffs(),
+                      scn.tcp_source(0).retransmits(),
+                      scn.pels_queue()->ecn_marks()};
+  };
+
+  const auto [cwnd_ecn, backoffs_ecn, retx_ecn, marks_ecn] = run(4);
+  const auto [cwnd_off, backoffs_off, retx_off, marks_off] = run(0);
+
+  EXPECT_GT(marks_ecn, 0u);
+  EXPECT_EQ(marks_off, 0u);
+  EXPECT_GT(backoffs_ecn, 0u) << "sink echo or sender ECE reaction is dead";
+  EXPECT_EQ(backoffs_off, 0u);
+  // Drop-free on both sides: the window cut cannot be loss-driven.
+  EXPECT_EQ(retx_ecn, 0u);
+  EXPECT_EQ(retx_off, 0u);
+  // Without any congestion signal the window grows without bound; with
+  // marking it stays bounded by the repeated ECE halvings.
+  EXPECT_LT(cwnd_ecn, cwnd_off / 2.0);
+}
+
+}  // namespace
+}  // namespace pels

@@ -74,6 +74,21 @@ is gated on current-run invariants only — there is no meaningful baseline for
   - monitor_overhead.overhead_frac <= --monitor-budget (default 6%; the
     recorded target is 3%, the gate adds noise margin).
 
+The fairness matrix (--fairness-current, BENCH_fairness.json from
+bench/fairness_matrix) is gated on current-run invariants — the matrix is a
+measurement, so the gate checks well-formedness and the paper's promise, not
+specific share splits:
+  - every expected cell label is present (the full set, or the smoke subset
+    when the artifact says smoke: true) — a silently skipped scenario must
+    not pass as "measured";
+  - every cell's Jain index is finite and in [0, 1];
+  - every cell's class shares sum to 1 (+/- 1e-6);
+  - every cell's base_protection >= --min-base-protection (default 0.9):
+    the base layer survives no matter which controllers share the link;
+  - every cell's green delay percentiles are positive and monotone
+    (p50 <= p95 <= p99);
+  - the summary block agrees with the per-cell minima it claims.
+
 Exit status: 0 = pass, 1 = regression/invariant failure, 2 = bad input.
 
 Usage:
@@ -688,6 +703,133 @@ def manyflows_selftest_doc() -> dict:
     }
 
 
+FAIRNESS_CELLS_FULL = [
+    "mkc_vs_mkc", "mkc_vs_cubic", "mkc_vs_dcqcn", "mkc_vs_swift",
+    "mkc_vs_scream", "cubic_vs_scream", "mkc_rtt_diverse", "cubic_rtt_diverse",
+    "mkc_cubic_1_3", "mkc_cubic_3_1", "mkc_vs_tcp", "cubic_scream_vs_tcp",
+]
+FAIRNESS_CELLS_SMOKE = [
+    "smoke_mkc_vs_cubic", "smoke_mkc_vs_dcqcn", "smoke_mkc_rtt_diverse",
+]
+
+
+def check_fairness_schema(doc: dict) -> list[str]:
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(
+            f"fairness: schema_version must be 1, got {doc.get('schema_version')!r}")
+    if doc.get("bench") != "fairness_matrix":
+        errors.append(
+            f"fairness: bench must be 'fairness_matrix', got {doc.get('bench')!r}")
+    if not isinstance(doc.get("cells"), list) or not doc.get("cells"):
+        errors.append("fairness: missing or empty 'cells' list")
+    if not isinstance(doc.get("summary"), dict):
+        errors.append("fairness: missing 'summary'")
+    for i, cell in enumerate(doc.get("cells") or []):
+        for k in ("label", "jain_video", "share_a", "share_b", "share_tcp",
+                  "base_protection", "delay_p50_ms", "delay_p95_ms", "delay_p99_ms"):
+            if k not in cell:
+                errors.append(f"fairness: cells[{i}] missing '{k}'")
+    return errors
+
+
+def check_fairness(doc: dict, min_base_protection: float) -> int:
+    """Gate the fairness-matrix JSON on its own invariants; returns exit code."""
+    errors = check_fairness_schema(doc)
+    if errors:
+        for e in errors:
+            fail(e)
+        return 2
+
+    failures = 0
+    cells = doc["cells"]
+    expected = FAIRNESS_CELLS_SMOKE if doc.get("smoke") else FAIRNESS_CELLS_FULL
+    present = {c["label"] for c in cells}
+    for label in expected:
+        if label not in present:
+            fail(f"fairness: expected cell '{label}' missing from the matrix")
+            failures += 1
+
+    min_jain = 1.0
+    min_protection = 1.0
+    for cell in cells:
+        label = cell["label"]
+        jain = float(cell["jain_video"])
+        if not (0.0 <= jain <= 1.0):
+            fail(f"fairness[{label}]: jain_video = {jain} outside [0, 1]")
+            failures += 1
+        share_sum = (float(cell["share_a"]) + float(cell["share_b"])
+                     + float(cell["share_tcp"]))
+        if abs(share_sum - 1.0) > 1e-6:
+            fail(f"fairness[{label}]: class shares sum to {share_sum:.6f}, expected 1")
+            failures += 1
+        protection = float(cell["base_protection"])
+        if protection < min_base_protection:
+            fail(f"fairness[{label}]: base_protection = {protection:.3f} < "
+                 f"{min_base_protection}: the AQM stopped protecting the base layer")
+            failures += 1
+        p50 = float(cell["delay_p50_ms"])
+        p95 = float(cell["delay_p95_ms"])
+        p99 = float(cell["delay_p99_ms"])
+        if not (0.0 < p50 <= p95 <= p99):
+            fail(f"fairness[{label}]: delay percentiles not positive/monotone "
+                 f"(p50 {p50}, p95 {p95}, p99 {p99})")
+            failures += 1
+        min_jain = min(min_jain, jain)
+        min_protection = min(min_protection, protection)
+
+    summary = doc["summary"]
+    for key, computed in (("min_jain", min_jain),
+                          ("min_base_protection", min_protection)):
+        claimed = summary.get(key)
+        if claimed is None or abs(float(claimed) - computed) > 1e-6:
+            fail(f"fairness: summary.{key} = {claimed!r} disagrees with the "
+                 f"per-cell minimum {computed:.6f}")
+            failures += 1
+
+    if failures == 0:
+        print(f"bench_compare: fairness PASS ({len(cells)} cells, min Jain "
+              f"{min_jain:.3f}, min base protection {min_protection:.3f})")
+        return 0
+    print(f"bench_compare: fairness: {failures} check(s) failed")
+    return 1
+
+
+def fairness_selftest_doc() -> dict:
+    def cell(label: str, jain: float, share_a: float, share_b: float,
+             share_tcp: float) -> dict:
+        return {
+            "label": label,
+            "jain_video": jain,
+            "share_a": share_a,
+            "share_b": share_b,
+            "share_tcp": share_tcp,
+            "base_protection": 0.998,
+            "delay_p50_ms": 16.0,
+            "delay_p95_ms": 17.1,
+            "delay_p99_ms": 17.8,
+            "ecn_marks": 1200,
+            "video_goodputs_bps": [9.0e5, 9.1e5],
+            "tcp_goodputs_bps": [],
+        }
+
+    cells = [cell("smoke_mkc_vs_cubic", 0.61, 0.10, 0.90, 0.0),
+             cell("smoke_mkc_vs_dcqcn", 0.57, 0.07, 0.93, 0.0),
+             cell("smoke_mkc_rtt_diverse", 1.0, 0.50, 0.50, 0.0)]
+    return {
+        "schema_version": 1,
+        "bench": "fairness_matrix",
+        "label": "selftest",
+        "smoke": True,
+        "cells": cells,
+        "summary": {
+            "cells": len(cells),
+            "min_jain": 0.57,
+            "min_base_protection": 0.998,
+        },
+    }
+
+
 def selftest() -> int:
     """Prove the gate detects an injected regression (and passes a clean run)."""
     baseline = {
@@ -938,6 +1080,59 @@ def selftest() -> int:
         fail("selftest: monitor overhead not detected")
         return 1
 
+    print("--- selftest: clean fairness run must pass")
+    if check_fairness(fairness_selftest_doc(), 0.9) != 0:
+        fail("selftest: clean fairness run did not pass")
+        return 1
+
+    print("--- selftest: base-layer protection collapse must fail")
+    unguarded = fairness_selftest_doc()
+    unguarded["cells"][0]["base_protection"] = 0.5
+    unguarded["summary"]["min_base_protection"] = 0.5
+    if check_fairness(unguarded, 0.9) != 1:
+        fail("selftest: base-protection regression not detected")
+        return 1
+
+    print("--- selftest: Jain index outside [0, 1] must fail")
+    impossible = fairness_selftest_doc()
+    impossible["cells"][1]["jain_video"] = 1.2
+    impossible["summary"]["min_jain"] = 0.61
+    if check_fairness(impossible, 0.9) != 1:
+        fail("selftest: out-of-domain Jain index not detected")
+        return 1
+
+    print("--- selftest: class shares not summing to 1 must fail")
+    leaky = fairness_selftest_doc()
+    leaky["cells"][0]["share_b"] = 0.70
+    if check_fairness(leaky, 0.9) != 1:
+        fail("selftest: share-sum violation not detected")
+        return 1
+
+    print("--- selftest: non-monotone delay percentiles must fail")
+    scrambled = fairness_selftest_doc()
+    scrambled["cells"][2]["delay_p95_ms"] = 12.0
+    if check_fairness(scrambled, 0.9) != 1:
+        fail("selftest: non-monotone percentiles not detected")
+        return 1
+
+    print("--- selftest: missing matrix cell must fail")
+    truncated = fairness_selftest_doc()
+    dropped = truncated["cells"].pop()
+    truncated["summary"]["cells"] = len(truncated["cells"])
+    truncated["summary"]["min_jain"] = min(
+        c["jain_video"] for c in truncated["cells"])
+    del dropped
+    if check_fairness(truncated, 0.9) != 1:
+        fail("selftest: missing cell not detected")
+        return 1
+
+    print("--- selftest: summary disagreeing with cells must fail")
+    cooked = fairness_selftest_doc()
+    cooked["summary"]["min_jain"] = 0.99
+    if check_fairness(cooked, 0.9) != 1:
+        fail("selftest: inconsistent summary not detected")
+        return 1
+
     print("bench_compare: selftest PASS (all injected regressions detected)")
     return 0
 
@@ -1008,6 +1203,18 @@ def main() -> int:
         "workers (default 0.8; skipped when hardware_concurrency < 2)",
     )
     ap.add_argument(
+        "--fairness-current",
+        help="freshly produced fairness_matrix JSON (BENCH_fairness.json); "
+        "gated on its own invariants, no baseline needed",
+    )
+    ap.add_argument(
+        "--min-base-protection",
+        type=float,
+        default=0.9,
+        help="minimum per-cell base-layer protection in the fairness matrix "
+        "(default 0.9)",
+    )
+    ap.add_argument(
         "--monitor-budget",
         type=float,
         default=0.06,
@@ -1020,9 +1227,10 @@ def main() -> int:
     if args.selftest:
         return selftest()
     if (not args.chaos_current and not args.manyflows_current
+            and not args.fairness_current
             and (not args.baseline or not args.current)):
         ap.error("--baseline and --current are required (or --chaos-current, "
-                 "--manyflows-current, or --selftest)")
+                 "--manyflows-current, --fairness-current, or --selftest)")
     rc = 0
     if args.baseline and args.current:
         rc = compare(load(args.baseline), load(args.current), args.tolerance,
@@ -1033,6 +1241,9 @@ def main() -> int:
         rc = max(rc, check_manyflows(load(args.manyflows_current), args.cost_ratio_max,
                                      args.min_tier_speedup, args.min_wheel_eps,
                                      args.huge_cost_ratio_max, args.min_shard_speedup))
+    if args.fairness_current:
+        rc = max(rc, check_fairness(load(args.fairness_current),
+                                    args.min_base_protection))
     return rc
 
 
